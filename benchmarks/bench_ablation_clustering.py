@@ -1,0 +1,65 @@
+"""Clustering-method ablation: DTW vs CBC vs FEATURE (step 1 of ATM).
+
+The paper evaluates DTW and CBC; its related work points at feature
+extraction [11] as the third standard option, implemented here in
+`repro.prediction.spatial.features`.  This ablation compares all three on
+signature-set reduction, spatial-fit accuracy, and search wall time — the
+trade-off a deployment must choose on.
+"""
+
+import time
+
+import numpy as np
+
+from repro.benchhelpers import pipeline_fleet, print_table
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    search_signature_set,
+)
+from repro.timeseries.metrics import mean_absolute_percentage_error
+
+TRAIN_WINDOWS = 5 * 96
+
+
+def _evaluate(method: ClusteringMethod):
+    fleet = pipeline_fleet(40)
+    config = SignatureSearchConfig(method=method, dtw_window=12, period=96)
+    ratios, apes = [], []
+    start = time.perf_counter()
+    for box in fleet:
+        data = box.demand_matrix()[:, :TRAIN_WINDOWS]
+        model = search_signature_set(data, config)
+        ratios.append(100.0 * model.signature_ratio)
+        fitted = model.fitted(data)
+        box_apes = [
+            mean_absolute_percentage_error(data[i], fitted[i])
+            for i in model.dependent_indices
+        ]
+        box_apes = [a for a in box_apes if np.isfinite(a)]
+        if box_apes:
+            apes.append(float(np.mean(box_apes)))
+    elapsed = time.perf_counter() - start
+    return float(np.mean(ratios)), float(np.mean(apes)), elapsed
+
+
+def test_clustering_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: _evaluate(m) for m in ClusteringMethod}, rounds=1, iterations=1
+    )
+    print_table(
+        "Clustering ablation — signature ratio %, fit APE %, search seconds",
+        ["method", "ratio", "APE", "seconds"],
+        [[m.value, r, a, s] for m, (r, a, s) in results.items()],
+    )
+
+    dtw_ratio, dtw_ape, dtw_time = results[ClusteringMethod.DTW]
+    cbc_ratio, cbc_ape, _cbc_time = results[ClusteringMethod.CBC]
+    feat_ratio, feat_ape, feat_time = results[ClusteringMethod.FEATURE]
+
+    # The documented trade-off triangle:
+    assert dtw_ratio < cbc_ratio, "DTW reduces the most"
+    assert cbc_ape < dtw_ape, "CBC fits dependents best"
+    assert feat_time < dtw_time, "features are the cheapest search"
+    # Features land between the extremes on reduction.
+    assert dtw_ratio - 10.0 < feat_ratio < cbc_ratio + 20.0

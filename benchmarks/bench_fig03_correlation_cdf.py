@@ -1,0 +1,47 @@
+"""Figure 3 — CDFs of per-box median spatial correlations.
+
+Regenerates the four CDFs (intra-CPU, intra-RAM, inter-all, inter-pair) of
+the per-box median Pearson coefficients.  Paper means: 0.26, 0.24, 0.30,
+0.62 — with inter-pair far above the rest (the spatial signal ATM exploits).
+"""
+
+import numpy as np
+
+from repro.benchhelpers import characterization_fleet, print_series, print_table
+from repro.tickets import correlation_cdfs
+
+PAPER_MEANS = {
+    "intra_cpu": 0.26,
+    "intra_ram": 0.24,
+    "inter_all": 0.30,
+    "inter_pair": 0.62,
+}
+
+
+def _compute():
+    fleet = characterization_fleet()
+    return correlation_cdfs(fleet, first_windows=96)
+
+
+def test_fig03_correlation_cdfs(benchmark):
+    cdfs = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    means = cdfs.means()
+    print_table(
+        "Fig. 3 — mean of per-box median correlations (measured vs paper)",
+        ["measure", "measured", "paper"],
+        [[k, means[k], PAPER_MEANS[k]] for k in PAPER_MEANS],
+    )
+    grid = np.arange(0.0, 1.01, 0.1)
+    for name, ecdf in (
+        ("intra-CPU", cdfs.intra_cpu),
+        ("intra-RAM", cdfs.intra_ram),
+        ("inter-all", cdfs.inter_all),
+        ("inter-pair", cdfs.inter_pair),
+    ):
+        print_series(f"Fig. 3 CDF — {name}", ecdf.evaluate(grid), "rho", "F(rho)")
+
+    # Shape: inter-pair dominates everything; all means within loose bands.
+    assert means["inter_pair"] > means["inter_all"] >= 0.15
+    assert means["inter_pair"] > 2 * means["intra_ram"]
+    for key, paper in PAPER_MEANS.items():
+        assert abs(means[key] - paper) < 0.15, (key, means[key], paper)

@@ -1,0 +1,55 @@
+"""Figure 5 — distribution of cluster counts under DTW and CBC.
+
+For every box, cluster the 5-day training demand series (CPU+RAM stacked)
+with DTW-hierarchical clustering and with CBC, and histogram the resulting
+number of clusters across boxes.  Paper: with DTW ~70% of boxes land at
+2-3 clusters; CBC is "less aggressive" (more clusters), and most CBC
+signature series are CPU.
+"""
+
+import numpy as np
+
+from repro.benchhelpers import pipeline_fleet, print_table
+from repro.prediction.spatial.cbc import correlation_based_clusters
+from repro.prediction.spatial.dtw_cluster import dtw_clusters
+from repro.timeseries.ecdf import histogram_shares
+
+TRAIN_WINDOWS = 5 * 96
+BINS = [2, 4, 6, 8, 10, 16, 32, 65]
+
+
+def _compute():
+    fleet = pipeline_fleet(40)
+    dtw_counts, cbc_counts = [], []
+    cbc_cpu_signatures = cbc_total_signatures = 0
+    for box in fleet:
+        data = box.demand_matrix()[:, :TRAIN_WINDOWS]
+        dtw_counts.append(dtw_clusters(data, window=12).n_clusters)
+        cbc = correlation_based_clusters(data)
+        cbc_counts.append(cbc.n_clusters)
+        cbc_total_signatures += len(cbc.signatures)
+        cbc_cpu_signatures += sum(1 for s in cbc.signatures if s < box.n_vms)
+    return dtw_counts, cbc_counts, cbc_cpu_signatures / cbc_total_signatures
+
+
+def test_fig05_cluster_count_distribution(benchmark):
+    dtw_counts, cbc_counts, cbc_cpu_share = benchmark.pedantic(
+        _compute, rounds=1, iterations=1
+    )
+    dtw_hist = histogram_shares(dtw_counts, BINS)
+    cbc_hist = histogram_shares(cbc_counts, BINS)
+    print_table(
+        "Fig. 5 — % of boxes per cluster count (paper: DTW ~70% at 2-3)",
+        ["clusters", "DTW %", "CBC %"],
+        [
+            [label, 100 * d, 100 * c]
+            for (label, d), (_, c) in zip(dtw_hist, cbc_hist)
+        ],
+    )
+    print(f"CBC signature series that are CPU: {100 * cbc_cpu_share:.1f}% "
+          f"(paper: 'most signature series are CPU')")
+
+    # Shape: DTW concentrates at small cluster counts; CBC uses more.
+    assert np.mean(np.asarray(dtw_counts) <= 3) > 0.5, "DTW should mostly find 2-3 clusters"
+    assert np.mean(cbc_counts) > np.mean(dtw_counts), "CBC is less aggressive than DTW"
+    assert cbc_cpu_share > 0.5, "most CBC signatures should be CPU series"

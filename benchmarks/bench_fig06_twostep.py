@@ -1,0 +1,95 @@
+"""Figure 6 — effectiveness of the two-step signature search.
+
+For DTW and CBC, compares the signature-set ratio and the spatial-fit APE
+after step 1 (clustering only) and after step 2 (clustering + VIF/stepwise).
+
+Paper: DTW 26% -> 26% of series with ~28% APE (stepwise barely moves it);
+CBC 82% -> 66% with ~20% APE and <= 1% accuracy cost for stepwise.
+"""
+
+import numpy as np
+
+from repro.benchhelpers import pipeline_fleet, print_table
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    search_signature_set,
+)
+from repro.timeseries.ecdf import BoxplotSummary
+from repro.timeseries.metrics import mean_absolute_percentage_error
+
+TRAIN_WINDOWS = 5 * 96
+
+PAPER = {
+    (ClusteringMethod.DTW, False): (26.0, 28.0),
+    (ClusteringMethod.DTW, True): (26.0, 28.0),
+    (ClusteringMethod.CBC, False): (82.0, 20.0),
+    (ClusteringMethod.CBC, True): (66.0, 21.0),
+}
+
+
+def _evaluate(method, stepwise):
+    fleet = pipeline_fleet(40)
+    ratios, apes = [], []
+    for box in fleet:
+        data = box.demand_matrix()[:, :TRAIN_WINDOWS]
+        model = search_signature_set(
+            data,
+            SignatureSearchConfig(method=method, apply_stepwise=stepwise, dtw_window=12),
+        )
+        ratios.append(100.0 * model.signature_ratio)
+        fitted = model.fitted(data)
+        box_apes = [
+            mean_absolute_percentage_error(data[i], fitted[i])
+            for i in model.dependent_indices
+        ]
+        box_apes = [a for a in box_apes if np.isfinite(a)]
+        if box_apes:
+            apes.append(float(np.mean(box_apes)))
+    return ratios, apes
+
+
+def _compute():
+    out = {}
+    for method in (ClusteringMethod.DTW, ClusteringMethod.CBC):
+        for stepwise in (False, True):
+            out[(method, stepwise)] = _evaluate(method, stepwise)
+    return out
+
+
+def test_fig06_two_step_effectiveness(benchmark):
+    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for (method, stepwise), (ratios, apes) in results.items():
+        ratio_box = BoxplotSummary.from_samples(ratios)
+        ape_box = BoxplotSummary.from_samples(apes)
+        paper_ratio, paper_ape = PAPER[(method, stepwise)]
+        rows.append(
+            [
+                method.value,
+                "stepwise" if stepwise else "clustering",
+                ratio_box.mean,
+                paper_ratio,
+                ratio_box.median,
+                ape_box.mean,
+                paper_ape,
+                ape_box.median,
+            ]
+        )
+    print_table(
+        "Fig. 6 — signature ratio (%) and spatial-fit APE (%) per step",
+        ["method", "step", "ratio", "paper", "med", "APE", "paper", "med"],
+        rows,
+    )
+
+    dtw_ratio = np.mean(results[(ClusteringMethod.DTW, True)][0])
+    cbc_step1 = np.mean(results[(ClusteringMethod.CBC, False)][0])
+    cbc_step2 = np.mean(results[(ClusteringMethod.CBC, True)][0])
+    dtw_ape = np.mean(results[(ClusteringMethod.DTW, True)][1])
+    cbc_ape = np.mean(results[(ClusteringMethod.CBC, True)][1])
+    cbc_ape_step1 = np.mean(results[(ClusteringMethod.CBC, False)][1])
+
+    assert dtw_ratio < cbc_step2 < cbc_step1, "DTW < CBC+stepwise < CBC alone"
+    assert cbc_step1 - cbc_step2 > 3.0, "stepwise should meaningfully shrink the CBC set"
+    assert cbc_ape < dtw_ape, "CBC should fit dependents better than DTW"
+    assert abs(cbc_ape - cbc_ape_step1) < 5.0, "stepwise costs little accuracy"

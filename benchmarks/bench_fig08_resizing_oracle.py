@@ -1,0 +1,69 @@
+"""Figure 8 — ticket reduction with *actual* demands (the oracle study).
+
+Resizing algorithms are fed the true evaluation-day demands (no prediction),
+isolating allocator quality: ATM's greedy (with and without ε
+discretization), max-min fairness, and the stingy peak-demand allocator.
+
+Paper (mean reduction %): ATM 95 (CPU) / 96 (RAM); max-min ~70/70 with a
+large std; stingy 54/15 — worst, and much worse on over-provisioned RAM.
+Our substrate reproduces the ordering and the RAM < CPU stingy gap; see
+EXPERIMENTS.md for the documented deviations (stingy's absolute level).
+"""
+
+from repro.benchhelpers import characterization_fleet, print_table
+from repro.resizing import evaluate_fleet_resizing
+from repro.resizing.evaluate import ResizingAlgorithm
+from repro.tickets.policy import TicketPolicy
+from repro.trace.model import Resource
+
+PAPER = {
+    (ResizingAlgorithm.ATM, Resource.CPU): 95.0,
+    (ResizingAlgorithm.ATM, Resource.RAM): 96.0,
+    (ResizingAlgorithm.ATM_NO_DISCRETIZATION, Resource.CPU): 95.0,
+    (ResizingAlgorithm.ATM_NO_DISCRETIZATION, Resource.RAM): 96.0,
+    (ResizingAlgorithm.MAX_MIN_FAIRNESS, Resource.CPU): 70.0,
+    (ResizingAlgorithm.MAX_MIN_FAIRNESS, Resource.RAM): 70.0,
+    (ResizingAlgorithm.STINGY, Resource.CPU): 54.0,
+    (ResizingAlgorithm.STINGY, Resource.RAM): 15.0,
+}
+
+
+def _compute():
+    fleet = characterization_fleet()
+    return evaluate_fleet_resizing(
+        fleet, TicketPolicy(60.0), tuple(ResizingAlgorithm), eval_windows=96
+    )
+
+
+def test_fig08_oracle_resizing(benchmark):
+    reduction = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for algorithm in ResizingAlgorithm:
+        for resource in (Resource.CPU, Resource.RAM):
+            rows.append(
+                [
+                    algorithm.value,
+                    resource.value,
+                    reduction.mean_reduction(resource, algorithm),
+                    PAPER[(algorithm, resource)],
+                    reduction.std_reduction(resource, algorithm),
+                ]
+            )
+    print_table(
+        "Fig. 8 — ticket reduction (%) on actual demands",
+        ["algorithm", "res", "mean", "paper", "std"],
+        rows,
+    )
+
+    for resource in (Resource.CPU, Resource.RAM):
+        atm = reduction.mean_reduction(resource, ResizingAlgorithm.ATM)
+        maxmin = reduction.mean_reduction(resource, ResizingAlgorithm.MAX_MIN_FAIRNESS)
+        stingy = reduction.mean_reduction(resource, ResizingAlgorithm.STINGY)
+        assert atm > 80.0, f"ATM should nearly eliminate {resource.value} tickets"
+        assert atm >= maxmin - 3.0, "ATM at least matches max-min"
+        assert stingy < maxmin, "stingy is the worst allocator"
+    assert reduction.mean_reduction(
+        Resource.CPU, ResizingAlgorithm.STINGY
+    ) > reduction.mean_reduction(Resource.RAM, ResizingAlgorithm.STINGY), (
+        "stingy hurts over-provisioned RAM more than CPU"
+    )

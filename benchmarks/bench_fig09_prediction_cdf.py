@@ -1,0 +1,69 @@
+"""Figure 9 — full-ATM prediction accuracy CDFs.
+
+Runs the complete spatial-temporal pipeline (5 training days, neural
+signature models, 1-day horizon) with both clustering variants and prints
+the CDFs of per-box mean APE — over all windows and over peak windows
+(actual usage above the 60% threshold).
+
+Paper: mean APE 31% (DTW) / 23% (CBC); peak-only 20% / 17%.
+"""
+
+import numpy as np
+
+from repro.benchhelpers import pipeline_fleet, print_series, print_table
+from repro.core import AtmConfig, run_fleet_atm
+from repro.prediction.spatial.signatures import ClusteringMethod
+
+PAPER = {
+    (ClusteringMethod.DTW, False): 31.0,
+    (ClusteringMethod.DTW, True): 20.0,
+    (ClusteringMethod.CBC, False): 23.0,
+    (ClusteringMethod.CBC, True): 17.0,
+}
+
+
+def _compute():
+    fleet = pipeline_fleet(40)
+    return {
+        method: run_fleet_atm(fleet, AtmConfig.with_clustering(method))
+        for method in (ClusteringMethod.DTW, ClusteringMethod.CBC)
+    }
+
+
+def test_fig09_prediction_accuracy(benchmark):
+    results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for method, result in results.items():
+        for peak in (False, True):
+            rows.append(
+                [
+                    f"ATM w/ {method.value.upper()}",
+                    "peak" if peak else "all",
+                    result.mean_ape(peak=peak),
+                    PAPER[(method, peak)],
+                    100.0 * result.mean_signature_ratio(),
+                ]
+            )
+    print_table(
+        "Fig. 9 — mean APE (%) of the full ATM prediction",
+        ["variant", "windows", "APE", "paper", "sig%"],
+        rows,
+    )
+    grid = np.arange(0.0, 101.0, 10.0)
+    for method, result in results.items():
+        for peak in (False, True):
+            cdf = result.ape_cdf(peak=peak)
+            if cdf is not None:
+                label = f"ATM w/ {method.value.upper()} - {'Peak' if peak else 'All'}"
+                print_series(f"Fig. 9 CDF — {label}", cdf.evaluate(grid), "APE%", "F")
+
+    dtw, cbc = results[ClusteringMethod.DTW], results[ClusteringMethod.CBC]
+    assert cbc.mean_ape() < dtw.mean_ape(), "CBC predicts better than DTW"
+    for result in results.values():
+        assert result.mean_ape(peak=True) < result.mean_ape(), (
+            "peak windows are predicted more accurately than the average window"
+        )
+        assert result.mean_ape() < 55.0, "overall APE should stay in the paper's regime"
+    assert dtw.mean_signature_ratio() < cbc.mean_signature_ratio(), (
+        "DTW uses far fewer signature series"
+    )

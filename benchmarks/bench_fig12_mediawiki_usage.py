@@ -1,0 +1,52 @@
+"""Figure 12 — MediaWiki CPU usage with and without ATM resizing.
+
+Runs the simulated testbed twice under identical offered load and prints
+each VM's CPU usage summary plus the total ticket counts.
+
+Paper: resizing keeps every VM below the 60% threshold; tickets drop from
+49 to 1.
+"""
+
+from repro.benchhelpers import print_table
+from repro.testbed import run_testbed_experiment
+from repro.testbed.experiment import TestbedConfig
+
+
+def _compute():
+    cfg = TestbedConfig()
+    original = run_testbed_experiment(resizing=False, config=cfg)
+    resized = run_testbed_experiment(resizing=True, config=cfg)
+    return original, resized
+
+
+def test_fig12_testbed_usage(benchmark):
+    original, resized = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for vm_id in sorted(original.usage_pct):
+        rows.append(
+            [
+                vm_id,
+                original.usage_pct[vm_id].max(),
+                resized.usage_pct[vm_id].max(),
+                original.tickets(vm_id),
+                resized.tickets(vm_id),
+                resized.limits[vm_id][-1],
+            ]
+        )
+    print_table(
+        "Fig. 12 — per-VM CPU usage and tickets (original vs ATM-resized)",
+        ["vm", "max% orig", "max% resz", "tk orig", "tk resz", "limit GHz"],
+        rows,
+    )
+    print(
+        f"total tickets: original {original.tickets()} -> resized {resized.tickets()} "
+        f"(paper: 49 -> 1)"
+    )
+
+    assert original.tickets() >= 30, "the original configuration tickets heavily"
+    assert resized.tickets() <= 3, "resizing should all but eliminate tickets"
+    # Every apache VM crosses the threshold originally; almost none after.
+    apaches = [vm for vm in original.usage_pct if "apache" in vm]
+    assert all(original.usage_pct[vm].max() > 60.0 for vm in apaches)
+    over_after = sum(resized.usage_pct[vm].max() > 61.0 for vm in resized.usage_pct)
+    assert over_after <= 1, "at most one marginal VM remains above the threshold"

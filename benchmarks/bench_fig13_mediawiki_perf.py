@@ -1,0 +1,67 @@
+"""Figure 13 — MediaWiki application performance, original vs resized.
+
+Paper: wiki-one's mean response time improves ~20% (582 -> 454 ms) at flat
+throughput; wiki-two's throughput improves >20% (14 -> 17 req/s) at a small
+response-time cost (+7%, 915 -> 979 ms) because the servers finally serve
+the full offered load.
+"""
+
+from repro.benchhelpers import print_table
+from repro.testbed import run_testbed_experiment
+from repro.testbed.experiment import TestbedConfig
+
+PAPER = {
+    "wiki-one": {"rt": (582.0, 454.0), "tput": (None, None)},
+    "wiki-two": {"rt": (915.0, 979.0), "tput": (14.0, 17.0)},
+}
+
+
+def _compute():
+    cfg = TestbedConfig()
+    original = run_testbed_experiment(resizing=False, config=cfg)
+    resized = run_testbed_experiment(resizing=True, config=cfg)
+    return original, resized
+
+
+def test_fig13_testbed_performance(benchmark):
+    original, resized = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for wiki in ("wiki-one", "wiki-two"):
+        rt_o = 1000.0 * original.mean_response_time(wiki)
+        rt_r = 1000.0 * resized.mean_response_time(wiki)
+        tp_o = original.mean_throughput(wiki)
+        tp_r = resized.mean_throughput(wiki)
+        paper_rt = PAPER[wiki]["rt"]
+        paper_tp = PAPER[wiki]["tput"]
+        rows.append(
+            [
+                wiki,
+                rt_o,
+                rt_r,
+                f"{paper_rt[0]:.0f}->{paper_rt[1]:.0f}",
+                tp_o,
+                tp_r,
+                "flat" if paper_tp[0] is None else f"{paper_tp[0]:.0f}->{paper_tp[1]:.0f}",
+            ]
+        )
+    print_table(
+        "Fig. 13 — RT (ms) and throughput (req/s), original vs resized",
+        ["wiki", "RT orig", "RT resz", "paper RT", "TP orig", "TP resz", "paper TP"],
+        rows,
+    )
+
+    # wiki-one: latency improves materially, throughput stays flat.
+    rt1_o = original.mean_response_time("wiki-one")
+    rt1_r = resized.mean_response_time("wiki-one")
+    assert rt1_r < 0.9 * rt1_o, "wiki-one response time should drop"
+    tp1_o = original.mean_throughput("wiki-one")
+    tp1_r = resized.mean_throughput("wiki-one")
+    assert abs(tp1_r - tp1_o) / tp1_o < 0.05, "wiki-one throughput stays flat"
+
+    # wiki-two: throughput rises (the offered load is finally served).
+    tp2_o = original.mean_throughput("wiki-two")
+    tp2_r = resized.mean_throughput("wiki-two")
+    assert tp2_r > 1.08 * tp2_o, "wiki-two throughput should rise appreciably"
+    rt2_o = original.mean_response_time("wiki-two")
+    rt2_r = resized.mean_response_time("wiki-two")
+    assert abs(rt2_r - rt2_o) / rt2_o < 0.25, "wiki-two RT moves only moderately"

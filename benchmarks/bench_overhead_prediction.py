@@ -1,0 +1,72 @@
+"""Section III/V claim — spatial models cost almost nothing.
+
+The paper's scalability argument: temporal (neural-network) models are
+accurate but expensive, so ATM trains them only for the signature series
+and predicts everything else through linear spatial models whose cost is
+"negligible".
+
+This bench times, on one box: (a) fitting+predicting the neural model for
+every series (the brute-force alternative), (b) the full ATM path
+(signature search + neural models on signatures only + spatial
+reconstruction), and (c) the spatial reconstruction alone.
+"""
+
+import time
+
+from repro.benchhelpers import pipeline_fleet, print_table
+from repro.prediction import (
+    SpatialTemporalConfig,
+    SpatialTemporalPredictor,
+)
+from repro.prediction.registry import make_temporal_model
+from repro.prediction.spatial.signatures import ClusteringMethod, SignatureSearchConfig
+
+TRAIN_WINDOWS = 5 * 96
+HORIZON = 96
+
+
+def _box_matrix():
+    fleet = pipeline_fleet(40)
+    box = max(fleet.boxes, key=lambda b: b.n_vms)
+    return box.demand_matrix()[:, :TRAIN_WINDOWS]
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_prediction_overhead(benchmark):
+    data = _box_matrix()
+
+    def all_temporal():
+        for row in data:
+            make_temporal_model("neural").fit(row).predict(HORIZON)
+
+    def atm_path():
+        predictor = SpatialTemporalPredictor(
+            SpatialTemporalConfig(
+                search=SignatureSearchConfig(method=ClusteringMethod.DTW, dtw_window=12)
+            )
+        )
+        predictor.fit_predict(data, HORIZON)
+        return predictor
+
+    t_all = _time(all_temporal)
+    predictor = benchmark.pedantic(atm_path, rounds=1, iterations=1)
+    t_atm = _time(atm_path)
+    t_spatial = _time(lambda: predictor.predict(HORIZON))
+
+    n_sig = len(predictor.spatial_model.signature_indices)
+    print_table(
+        "Prediction overhead on one box (seconds)",
+        ["approach", "seconds", "series modeled"],
+        [
+            ["temporal model on every series", t_all, data.shape[0]],
+            ["ATM (search + signatures + spatial)", t_atm, n_sig],
+            ["spatial reconstruction only", t_spatial, 0],
+        ],
+    )
+    assert t_atm < t_all, "ATM must be cheaper than modelling every series"
+    assert t_spatial < 0.25 * t_all, "spatial prediction is near-free"

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one figure/table of the paper and prints the
+measured rows next to the published values, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction report generator.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running the benches from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Section V-B walkthrough: ATM on the simulated MediaWiki cluster.
+
+Runs the two-deployment testbed (wiki-one: 4 Apache / 2 Memcached / 1
+MySQL; wiki-two: 2 / 1 / 1) under alternating low/high load, once with the
+operators' static CPU limits and once with ATM resizing every hour, then
+prints the ticket counts, per-VM usage extremes, and application
+performance — the data behind the paper's Figs. 12 and 13.
+
+Run with:  python examples/mediawiki_resizing.py
+"""
+
+from repro.testbed import run_testbed_experiment
+from repro.testbed.experiment import TestbedConfig
+
+
+def main() -> None:
+    cfg = TestbedConfig(duration_windows=24)  # 6 hours
+    original = run_testbed_experiment(resizing=False, config=cfg)
+    resized = run_testbed_experiment(resizing=True, config=cfg)
+
+    print("CPU usage tickets over the experiment:")
+    print(f"  original: {original.tickets():3d}   with ATM resizing: {resized.tickets():3d}")
+
+    print("\nper-VM peak usage (percent of enforced limit):")
+    print(f"{'vm':>16} {'orig max%':>10} {'resized max%':>13} {'final limit':>12}")
+    for vm_id in sorted(original.usage_pct):
+        print(
+            f"{vm_id:>16} {original.usage_pct[vm_id].max():>10.1f} "
+            f"{resized.usage_pct[vm_id].max():>13.1f} "
+            f"{resized.limits[vm_id][-1]:>10.2f}G"
+        )
+
+    print("\napplication performance (request-weighted means):")
+    for wiki in ("wiki-one", "wiki-two"):
+        rt_o = 1000 * original.mean_response_time(wiki)
+        rt_r = 1000 * resized.mean_response_time(wiki)
+        tp_o = original.mean_throughput(wiki)
+        tp_r = resized.mean_throughput(wiki)
+        print(
+            f"  {wiki}: RT {rt_o:6.0f} -> {rt_r:6.0f} ms   "
+            f"TPUT {tp_o:6.1f} -> {tp_r:6.1f} req/s"
+        )
+
+    print("\nhourly cgroups CPU-limit trajectory of the wiki-two front-ends:")
+    for vm_id in ("w2-apache-1", "w2-apache-2"):
+        series = resized.limits[vm_id]
+        print(f"  {vm_id}: " + " ".join(f"{v:.1f}" for v in series[::4]) + "  (GHz, hourly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Quickstart: run ATM end-to-end on a small synthetic fleet.
+
+Generates a 10-box fleet (5 training days + 1 evaluation day), runs the
+full ATM pipeline — signature search, neural temporal models, spatial
+reconstruction, greedy MCKP resizing — and prints prediction accuracy and
+ticket reductions.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import AtmConfig, run_fleet_atm
+from repro.resizing.evaluate import ResizingAlgorithm
+from repro.trace import FleetConfig, Resource, generate_fleet
+
+
+def main() -> None:
+    fleet = generate_fleet(FleetConfig(n_boxes=10, days=6, seed=7))
+    print(f"fleet: {fleet.n_boxes} boxes, {fleet.n_vms} VMs, "
+          f"{fleet.n_series} usage series")
+
+    result = run_fleet_atm(fleet, AtmConfig())
+
+    print(f"\nsignature series kept: {100 * result.mean_signature_ratio():.0f}% "
+          f"of all series (the rest are predicted spatially)")
+    print(f"prediction APE: {result.mean_ape():.1f}% over all windows, "
+          f"{result.mean_ape(peak=True):.1f}% on peak (ticket-relevant) windows")
+
+    print("\nticket reduction with predicted demands:")
+    for algorithm in ResizingAlgorithm:
+        cpu = result.mean_reduction(Resource.CPU, algorithm)
+        ram = result.mean_reduction(Resource.RAM, algorithm)
+        print(f"  {algorithm.value:12s}  CPU {cpu:6.1f}%   RAM {ram:6.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Shared utilities for the benchmark harness (one bench per paper figure)."""
+
+from repro.benchhelpers.fleetcache import characterization_fleet, pipeline_fleet
+from repro.benchhelpers.tables import format_row, print_series, print_table
+
+__all__ = [
+    "characterization_fleet",
+    "format_row",
+    "pipeline_fleet",
+    "print_series",
+    "print_table",
+]

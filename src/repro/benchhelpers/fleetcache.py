@@ -1,0 +1,40 @@
+"""Seeded fleets shared across benchmarks.
+
+Fleet generation is deterministic in the seed, so benches can share one
+fleet per scale without re-generating it; the cache keeps benchmark wall
+time dominated by the algorithms under study rather than by data synthesis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.trace.generator import FleetConfig, generate_fleet
+from repro.trace.model import FleetTrace
+
+__all__ = ["characterization_fleet", "pipeline_fleet"]
+
+#: Seed shared by all benchmarks (reported in EXPERIMENTS.md).
+BENCH_SEED = 20160628
+
+
+@lru_cache(maxsize=4)
+def characterization_fleet(n_boxes: int = 200) -> FleetTrace:
+    """One-day fleet used by the Section II benches (Figs. 2, 3, 8).
+
+    The paper characterizes a single day (April 3, 2015); one day keeps the
+    trace small while every per-box statistic stays well defined.
+    """
+    cfg = FleetConfig(n_boxes=n_boxes, days=1, seed=BENCH_SEED)
+    return generate_fleet(cfg, name=f"characterization-{n_boxes}")
+
+
+@lru_cache(maxsize=4)
+def pipeline_fleet(n_boxes: int = 60) -> FleetTrace:
+    """Six-day fleet used by the ATM pipeline benches (Figs. 5-7, 9, 10).
+
+    Five training days plus the prediction day, mirroring the paper's
+    gap-free 400-box subset at a scale a laptop reproduces in minutes.
+    """
+    cfg = FleetConfig(n_boxes=n_boxes, days=6, seed=BENCH_SEED + 1)
+    return generate_fleet(cfg, name=f"pipeline-{n_boxes}")

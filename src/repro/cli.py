@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the workflows an operator would actually run:
+
+* ``characterize`` — the Section II study on a (synthetic or loaded) fleet.
+* ``predict``      — full-ATM prediction accuracy (Fig. 9 style).
+* ``resize``       — oracle resizing comparison across algorithms (Fig. 8).
+* ``testbed``      — the simulated MediaWiki experiment (Figs. 12/13).
+* ``generate``     — write a synthetic fleet trace to CSV.
+
+Each command prints the same fixed-width tables the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.benchhelpers.tables import print_table
+from repro.core import AtmConfig, run_fleet_atm
+from repro.prediction.registry import available_temporal_models
+from repro.prediction.spatial.signatures import ClusteringMethod
+from repro.resizing.evaluate import ResizingAlgorithm, evaluate_fleet_resizing
+from repro.tickets import DEFAULT_THRESHOLDS, correlation_cdfs, fleet_ticket_summary
+from repro.tickets.policy import TicketPolicy
+from repro.trace import FleetConfig, generate_fleet, load_fleet_csv, save_fleet_csv
+from repro.trace.model import Resource
+
+__all__ = ["main", "build_parser"]
+
+
+def _fleet_from_args(args: argparse.Namespace):
+    if getattr(args, "input", None):
+        return load_fleet_csv(args.input)
+    config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
+    return generate_fleet(config)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    fleet = _fleet_from_args(args)
+    summary = fleet_ticket_summary(fleet, DEFAULT_THRESHOLDS, first_windows=96)
+    rows = []
+    for resource in (Resource.CPU, Resource.RAM):
+        for threshold in DEFAULT_THRESHOLDS:
+            row = summary.row(resource, threshold)
+            rows.append(
+                [
+                    resource.value,
+                    int(threshold),
+                    row["pct_boxes"],
+                    row["mean_tickets"],
+                    row["std_tickets"],
+                    row["mean_culprits"],
+                ]
+            )
+    print_table(
+        f"Ticket characterization — {fleet.n_boxes} boxes / {fleet.n_vms} VMs",
+        ["res", "thr%", "%boxes", "tickets", "std", "culprits"],
+        rows,
+    )
+    means = correlation_cdfs(fleet, first_windows=96).means()
+    print_table(
+        "Spatial correlation (mean of per-box medians)",
+        ["measure", "value"],
+        [[k, v] for k, v in means.items()],
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    fleet = _fleet_from_args(args)
+    config = AtmConfig.with_clustering(
+        ClusteringMethod(args.method), temporal_model=args.temporal
+    )
+    result = run_fleet_atm(fleet, config)
+    print_table(
+        f"ATM prediction — {args.method} clustering, {args.temporal} temporal model",
+        ["metric", "value"],
+        [
+            ["boxes evaluated", len(result.accuracies)],
+            ["signature ratio %", 100.0 * result.mean_signature_ratio()],
+            ["mean APE % (all windows)", result.mean_ape()],
+            ["mean APE % (peak windows)", result.mean_ape(peak=True)],
+        ],
+    )
+    rows = []
+    for algorithm in ResizingAlgorithm:
+        rows.append(
+            [
+                algorithm.value,
+                result.mean_reduction(Resource.CPU, algorithm),
+                result.mean_reduction(Resource.RAM, algorithm),
+            ]
+        )
+    print_table(
+        "Ticket reduction with predicted demands (%)",
+        ["algorithm", "CPU", "RAM"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_resize(args: argparse.Namespace) -> int:
+    fleet = _fleet_from_args(args)
+    policy = TicketPolicy(threshold_pct=args.threshold)
+    reduction = evaluate_fleet_resizing(
+        fleet, policy, tuple(ResizingAlgorithm), eval_windows=96,
+        epsilon_pct=args.epsilon,
+    )
+    rows = []
+    for algorithm in ResizingAlgorithm:
+        for resource in (Resource.CPU, Resource.RAM):
+            rows.append(
+                [
+                    algorithm.value,
+                    resource.value,
+                    reduction.mean_reduction(resource, algorithm),
+                    reduction.std_reduction(resource, algorithm),
+                ]
+            )
+    print_table(
+        f"Oracle resizing at the {args.threshold:.0f}% threshold (ε={args.epsilon}%)",
+        ["algorithm", "res", "mean %", "std"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.testbed.experiment import TestbedConfig, run_testbed_experiment
+
+    config = TestbedConfig(duration_windows=args.hours * 4, seed=args.seed)
+    original = run_testbed_experiment(resizing=False, config=config)
+    resized = run_testbed_experiment(resizing=True, config=config)
+    print_table(
+        "MediaWiki testbed — tickets",
+        ["run", "tickets"],
+        [["original", original.tickets()], ["ATM resized", resized.tickets()]],
+    )
+    rows = []
+    for wiki in ("wiki-one", "wiki-two"):
+        rows.append(
+            [
+                wiki,
+                1000.0 * original.mean_response_time(wiki),
+                1000.0 * resized.mean_response_time(wiki),
+                original.mean_throughput(wiki),
+                resized.mean_throughput(wiki),
+            ]
+        )
+    print_table(
+        "Application performance",
+        ["wiki", "RT orig ms", "RT resz ms", "TP orig", "TP resz"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
+    fleet = generate_fleet(config)
+    save_fleet_csv(fleet, args.output)
+    print(
+        f"wrote {args.output}: {fleet.n_boxes} boxes, {fleet.n_vms} VMs, "
+        f"{fleet.boxes[0].n_windows} windows"
+    )
+    return 0
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
+    parser.add_argument("--boxes", type=int, default=40, help="synthetic fleet size")
+    parser.add_argument("--days", type=int, default=days, help="trace length in days")
+    parser.add_argument("--seed", type=int, default=20160628, help="generator seed")
+    parser.add_argument(
+        "--input", type=str, default=None,
+        help="load a fleet CSV instead of generating one",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATM (Active Ticket Managing) — DSN 2016 reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    characterize = sub.add_parser(
+        "characterize", help="Section II ticket/correlation study"
+    )
+    _add_fleet_arguments(characterize, days=1)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    predict = sub.add_parser("predict", help="full-ATM prediction + reduction")
+    _add_fleet_arguments(predict, days=6)
+    predict.add_argument(
+        "--method",
+        choices=[m.value for m in ClusteringMethod],
+        default="cbc",
+        help="signature clustering method",
+    )
+    predict.add_argument(
+        "--temporal",
+        choices=list(available_temporal_models()),
+        default="neural",
+        help="temporal model for the signature series",
+    )
+    predict.set_defaults(func=_cmd_predict)
+
+    resize = sub.add_parser("resize", help="oracle resizing comparison")
+    _add_fleet_arguments(resize, days=1)
+    resize.add_argument("--threshold", type=float, default=60.0)
+    resize.add_argument("--epsilon", type=float, default=5.0)
+    resize.set_defaults(func=_cmd_resize)
+
+    testbed = sub.add_parser("testbed", help="simulated MediaWiki experiment")
+    testbed.add_argument("--hours", type=int, default=6)
+    testbed.add_argument("--seed", type=int, default=42)
+    testbed.set_defaults(func=_cmd_testbed)
+
+    generate = sub.add_parser("generate", help="write a synthetic fleet CSV")
+    generate.add_argument("output", type=str, help="output CSV path")
+    generate.add_argument("--boxes", type=int, default=20)
+    generate.add_argument("--days", type=int, default=7)
+    generate.add_argument("--seed", type=int, default=20160628)
+    generate.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

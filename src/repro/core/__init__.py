@@ -1,0 +1,30 @@
+"""The ATM (Active Ticket Managing) system — the paper's core contribution.
+
+Ties the substrates together: per box, ATM trains the spatial-temporal
+predictor on a training window (5 days in the paper), forecasts all demand
+series one resizing window ahead (1 day = 96 ticketing windows), and sizes
+the co-located VMs with the greedy MCKP algorithm.
+
+* :mod:`repro.core.config` — configuration of the full system.
+* :mod:`repro.core.atm` — the per-box ATM controller.
+* :mod:`repro.core.pipeline` — fleet-scale evaluation runs (Figs. 9, 10).
+* :mod:`repro.core.results` — result containers and aggregation.
+"""
+
+from repro.core.atm import AtmController, BoxAtmResult
+from repro.core.config import AtmConfig
+from repro.core.online import OnlineAtmController, OnlineRunResult, run_online_fleet
+from repro.core.pipeline import FleetAtmResult, run_fleet_atm
+from repro.core.results import PredictionAccuracy
+
+__all__ = [
+    "AtmConfig",
+    "AtmController",
+    "BoxAtmResult",
+    "FleetAtmResult",
+    "OnlineAtmController",
+    "OnlineRunResult",
+    "PredictionAccuracy",
+    "run_fleet_atm",
+    "run_online_fleet",
+]

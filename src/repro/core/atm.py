@@ -1,0 +1,198 @@
+"""The per-box ATM controller: train → predict → resize.
+
+One :class:`AtmController` manages one physical box.  Its lifecycle follows
+the paper's deployment story:
+
+1. :meth:`fit` on the training window (5 days of demand history).  The
+   inter-resource signature search runs over the stacked CPU+RAM demand
+   matrix, temporal models are fitted to the signature series only.
+2. :meth:`predict` the full next resizing window (1 day, 96 windows) for
+   every series.
+3. :meth:`resize` per resource: build the MCKP from the predicted demands
+   and solve it greedily, yielding the capacity allocation the actuator
+   should enforce for the next day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AtmConfig
+from repro.core.results import PredictionAccuracy, accuracy_for_box
+from repro.prediction.combined import BoxPrediction, SpatialTemporalPredictor
+from repro.resizing.evaluate import (
+    BoxReduction,
+    ResizingAlgorithm,
+    evaluate_box_resizing,
+    resize_allocation,
+)
+from repro.resizing.problem import ResizingProblem
+from repro.trace.model import BoxTrace, Resource
+
+__all__ = ["AtmController", "BoxAtmResult"]
+
+
+@dataclass
+class BoxAtmResult:
+    """Everything an end-to-end ATM run produces for one box."""
+
+    box_id: str
+    accuracy: PredictionAccuracy
+    reductions: Dict[Tuple[Resource, ResizingAlgorithm], BoxReduction]
+    predicted: Dict[Resource, np.ndarray]
+    allocations: Dict[Resource, np.ndarray]
+
+
+class AtmController:
+    """ATM for a single box."""
+
+    def __init__(self, box: BoxTrace, config: Optional[AtmConfig] = None) -> None:
+        self.box = box
+        self.config = config or AtmConfig()
+        self._predictor: Optional[SpatialTemporalPredictor] = None
+        self._train_demands: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ train
+    def fit(self, train_windows: Optional[int] = None) -> "AtmController":
+        """Fit the spatial-temporal predictor on the first training windows."""
+        windows = train_windows or self.config.training_windows
+        windows = min(windows, self.box.n_windows)
+        demands = self.box.demand_matrix()[:, :windows]  # stacked CPU+RAM
+        self._predictor = SpatialTemporalPredictor(self.config.prediction).fit(demands)
+        self._train_demands = demands
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._predictor is not None
+
+    @property
+    def signature_ratio(self) -> float:
+        if self._predictor is None:
+            raise RuntimeError("controller has not been fitted")
+        return self._predictor.spatial_model.signature_ratio
+
+    # ---------------------------------------------------------------- predict
+    def predict(self, horizon: Optional[int] = None) -> BoxPrediction:
+        """Forecast every demand series for the next resizing window."""
+        if self._predictor is None:
+            raise RuntimeError("controller has not been fitted")
+        return self._predictor.predict(horizon or self.config.horizon_windows)
+
+    def split_prediction(self, prediction: BoxPrediction) -> Dict[Resource, np.ndarray]:
+        """Split a stacked (2M, H) prediction into per-resource matrices."""
+        m = self.box.n_vms
+        return {
+            Resource.CPU: prediction.predictions[:m],
+            Resource.RAM: prediction.predictions[m:],
+        }
+
+    # ----------------------------------------------------------------- resize
+    def resize(
+        self,
+        predicted: Dict[Resource, np.ndarray],
+        lower_bounds: Optional[Dict[Resource, np.ndarray]] = None,
+    ) -> Dict[Resource, np.ndarray]:
+        """Compute next-window capacity allocations from predicted demands.
+
+        Returns per-resource allocation vectors; falls back to the current
+        allocation when the greedy cannot satisfy the bounds.
+        """
+        allocations: Dict[Resource, np.ndarray] = {}
+        for resource, demands in predicted.items():
+            current = self.box.allocations(resource)
+            capacity = self.box.capacity(resource)
+            bounds = None if lower_bounds is None else lower_bounds.get(resource)
+            if bounds is None:
+                bounds = self._default_lower_bounds(resource)
+            bounds = np.minimum(bounds, capacity)
+            problem = ResizingProblem(
+                demands=np.maximum(demands, 0.0),
+                capacity=capacity,
+                alpha=self.config.policy.alpha,
+                lower_bounds=bounds,
+                upper_bounds=np.full(self.box.n_vms, capacity),
+            )
+            epsilon = self.config.epsilon_pct / 100.0 * current
+            allocation, feasible = resize_allocation(
+                problem, ResizingAlgorithm.ATM, epsilon=epsilon, current=current
+            )
+            allocations[resource] = allocation if feasible else current
+        return allocations
+
+    def _default_lower_bounds(self, resource: Resource) -> np.ndarray:
+        """Peak demand of the last training day — "peak usage before resizing"."""
+        if self._train_demands is None:
+            raise RuntimeError("controller has not been fitted")
+        m = self.box.n_vms
+        rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
+        period = self.box.windows_per_day
+        tail = self._train_demands[rows, -period:]
+        return tail.max(axis=1)
+
+    # ------------------------------------------------------------ end to end
+    def run(self) -> BoxAtmResult:
+        """Full post-hoc evaluation on this box's trace.
+
+        Trains on the configured training windows, predicts the following
+        resizing window, evaluates prediction accuracy against the actual
+        demands, and compares sizing policies with the predicted demands as
+        sizing input (the Fig. 9/10 pipeline for a single box).
+        """
+        cfg = self.config
+        horizon = cfg.horizon_windows
+        if self.box.n_windows < cfg.training_windows + horizon:
+            raise ValueError(
+                f"box {self.box.box_id} has {self.box.n_windows} windows; "
+                f"need {cfg.training_windows + horizon} for train + horizon"
+            )
+        if not self.is_fitted:
+            self.fit()
+        prediction = self.predict(horizon)
+        per_resource = self.split_prediction(prediction)
+
+        lo = cfg.training_windows
+        actual = self.box.demand_matrix()[:, lo : lo + horizon]
+        # Peak windows: actual usage above the ticket threshold.
+        peak_thresholds = np.concatenate(
+            [
+                cfg.policy.alpha * self.box.allocations(Resource.CPU),
+                cfg.policy.alpha * self.box.allocations(Resource.RAM),
+            ]
+        )
+        accuracy = accuracy_for_box(
+            self.box.box_id,
+            actual,
+            prediction.predictions,
+            peak_thresholds,
+            self.signature_ratio,
+        )
+
+        reductions: Dict[Tuple[Resource, ResizingAlgorithm], BoxReduction] = {}
+        m = self.box.n_vms
+        for resource in (Resource.CPU, Resource.RAM):
+            rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
+            results = evaluate_box_resizing(
+                self.box,
+                resource,
+                cfg.policy,
+                cfg.algorithms,
+                eval_demands=actual[rows],
+                sizing_demands=per_resource[resource],
+                epsilon_pct=cfg.epsilon_pct,
+                lower_bounds=self._default_lower_bounds(resource),
+            )
+            for result in results:
+                reductions[(resource, result.algorithm)] = result
+
+        allocations = self.resize(per_resource)
+        return BoxAtmResult(
+            box_id=self.box.box_id,
+            accuracy=accuracy,
+            reductions=reductions,
+            predicted=per_resource,
+            allocations=allocations,
+        )

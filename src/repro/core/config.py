@@ -1,0 +1,72 @@
+"""Configuration of the full ATM system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.prediction.combined import SpatialTemporalConfig
+from repro.prediction.spatial.signatures import ClusteringMethod, SignatureSearchConfig
+from repro.resizing.evaluate import ResizingAlgorithm
+from repro.tickets.policy import TicketPolicy
+
+__all__ = ["AtmConfig"]
+
+
+@dataclass(frozen=True)
+class AtmConfig:
+    """Everything ATM needs to run on a fleet.
+
+    Defaults reproduce the paper's Section V setup: 5 training days,
+    a 1-day resizing window of 96 ticketing windows, the 60% ticket
+    policy, neural-network temporal models over an inter-resource
+    signature search, and ε = 5 discretization.
+
+    Attributes
+    ----------
+    prediction:
+        Spatial-temporal predictor configuration (clustering method,
+        temporal model, ...).
+    policy:
+        Ticketing policy (threshold, window length).
+    training_windows:
+        Number of windows used for model fitting (5 days x 96).
+    horizon_windows:
+        Resizing window length in ticketing windows (1 day = 96).
+    epsilon_pct:
+        Discretization factor ε, in percentage points of each VM's current
+        capacity.
+    algorithms:
+        Sizing policies evaluated against each other (Fig. 10).
+    """
+
+    prediction: SpatialTemporalConfig = field(default_factory=SpatialTemporalConfig)
+    policy: TicketPolicy = field(default_factory=TicketPolicy)
+    training_windows: int = 5 * 96
+    horizon_windows: int = 96
+    epsilon_pct: float = 5.0
+    algorithms: Tuple[ResizingAlgorithm, ...] = tuple(ResizingAlgorithm)
+
+    def __post_init__(self) -> None:
+        if self.training_windows < 2:
+            raise ValueError("training_windows must be >= 2")
+        if self.horizon_windows < 1:
+            raise ValueError("horizon_windows must be >= 1")
+        if self.epsilon_pct < 0:
+            raise ValueError("epsilon_pct must be non-negative")
+        if not self.algorithms:
+            raise ValueError("need at least one sizing algorithm")
+
+    @classmethod
+    def with_clustering(cls, method: ClusteringMethod, **kwargs) -> "AtmConfig":
+        """Convenience constructor: the paper's two ATM variants.
+
+        ``AtmConfig.with_clustering(ClusteringMethod.DTW)`` is "ATM w/ DTW",
+        ``...(ClusteringMethod.CBC)`` is "ATM w/ CBC".
+        """
+        prediction = SpatialTemporalConfig(
+            search=SignatureSearchConfig(method=method),
+            **{k: v for k, v in kwargs.items() if k in ("temporal_model", "period")},
+        )
+        rest = {k: v for k, v in kwargs.items() if k not in ("temporal_model", "period")}
+        return cls(prediction=prediction, **rest)

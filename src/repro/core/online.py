@@ -1,0 +1,216 @@
+"""Online dynamic workload management — the paper's stated future work.
+
+The conclusion of the paper: "In our future work we intend to use ATM's
+prediction abilities to drive online dynamic workload management."  This
+module implements that extension: a rolling controller that, day after day,
+
+1. re-fits the spatial-temporal predictor on a sliding training window,
+2. predicts the next resizing window,
+3. actuates new capacity limits (with the ε safety margin and slack
+   redistribution), and
+4. observes the day's *actual* demands, scoring both prediction accuracy
+   and realized tickets against the static status quo.
+
+Because allocations change daily while demands do not depend on them (the
+post-hoc trace assumption the paper itself makes), the rolling run yields a
+day-by-day account of how ATM would have managed the box across the whole
+trace — including its behavior under workload drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import AtmConfig
+from repro.prediction.combined import SpatialTemporalPredictor
+from repro.resizing.evaluate import ResizingAlgorithm, resize_allocation
+from repro.resizing.problem import ResizingProblem, tickets_for_allocation
+from repro.timeseries.metrics import mean_absolute_percentage_error
+from repro.trace.model import BoxTrace, FleetTrace, Resource
+
+__all__ = ["OnlineStep", "OnlineRunResult", "OnlineAtmController", "run_online_fleet"]
+
+
+@dataclass(frozen=True)
+class OnlineStep:
+    """One resizing window of the rolling controller, per resource."""
+
+    day_index: int
+    resource: Resource
+    ape: float
+    tickets_static: int
+    tickets_atm: int
+    allocation: np.ndarray
+
+    @property
+    def tickets_avoided(self) -> int:
+        return self.tickets_static - self.tickets_atm
+
+
+@dataclass
+class OnlineRunResult:
+    """Rolling-run outcome for one box."""
+
+    box_id: str
+    steps: List[OnlineStep] = field(default_factory=list)
+
+    def total_tickets(self, static: bool = False) -> int:
+        return sum(s.tickets_static if static else s.tickets_atm for s in self.steps)
+
+    def reduction_percent(self) -> float:
+        before = self.total_tickets(static=True)
+        if before == 0:
+            return float("nan")
+        return 100.0 * (before - self.total_tickets()) / before
+
+    def mean_ape(self) -> float:
+        values = [s.ape for s in self.steps if np.isfinite(s.ape)]
+        return float(np.mean(values)) if values else float("nan")
+
+    def steps_for(self, resource: Resource) -> List[OnlineStep]:
+        return [s for s in self.steps if s.resource is resource]
+
+
+class OnlineAtmController:
+    """Day-by-day rolling ATM for one box.
+
+    Parameters
+    ----------
+    box:
+        The full box trace (training prefix + the days to manage).
+    config:
+        ATM configuration; ``training_windows`` is the sliding-window
+        length and ``horizon_windows`` the per-step resizing window.
+    refit_every_steps:
+        Re-run the (expensive) signature search and temporal fits only
+        every k steps; intermediate steps reuse the fitted models with the
+        window advanced — the practical deployment compromise.
+    """
+
+    def __init__(
+        self,
+        box: BoxTrace,
+        config: Optional[AtmConfig] = None,
+        refit_every_steps: int = 1,
+    ) -> None:
+        if refit_every_steps < 1:
+            raise ValueError("refit_every_steps must be >= 1")
+        self.box = box
+        self.config = config or AtmConfig()
+        self.refit_every_steps = refit_every_steps
+        self._predictor: Optional[SpatialTemporalPredictor] = None
+        self._fitted_at_step = -10**9
+
+    @property
+    def n_steps(self) -> int:
+        """How many full resizing windows the trace supports."""
+        cfg = self.config
+        spare = self.box.n_windows - cfg.training_windows
+        return max(0, spare // cfg.horizon_windows)
+
+    def _window_bounds(self, step: int) -> "tuple[int, int]":
+        cfg = self.config
+        start = cfg.training_windows + step * cfg.horizon_windows
+        return start, start + cfg.horizon_windows
+
+    def _fit(self, step: int) -> SpatialTemporalPredictor:
+        cfg = self.config
+        start, _ = self._window_bounds(step)
+        train = self.box.demand_matrix()[:, start - cfg.training_windows : start]
+        predictor = SpatialTemporalPredictor(cfg.prediction).fit(train)
+        self._predictor = predictor
+        self._fitted_at_step = step
+        return predictor
+
+    def run(self) -> OnlineRunResult:
+        """Roll over every available resizing window."""
+        if self.n_steps == 0:
+            raise ValueError(
+                f"box {self.box.box_id} too short for one online step "
+                f"({self.box.n_windows} windows, need "
+                f"{self.config.training_windows + self.config.horizon_windows})"
+            )
+        cfg = self.config
+        result = OnlineRunResult(box_id=self.box.box_id)
+        m = self.box.n_vms
+        demands_all = self.box.demand_matrix()
+
+        for step in range(self.n_steps):
+            if (
+                self._predictor is None
+                or step - self._fitted_at_step >= self.refit_every_steps
+            ):
+                predictor = self._fit(step)
+            else:
+                predictor = self._predictor
+            prediction = predictor.predict(cfg.horizon_windows)
+            start, stop = self._window_bounds(step)
+            actual = demands_all[:, start:stop]
+
+            for resource in (Resource.CPU, Resource.RAM):
+                rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
+                predicted = np.maximum(prediction.predictions[rows], 0.0)
+                current = self.box.allocations(resource)
+                capacity = self.box.capacity(resource)
+                # Lower bound: yesterday's observed peak.
+                lookback = demands_all[rows, start - self.box.windows_per_day : start]
+                lower = np.minimum(lookback.max(axis=1), capacity)
+                problem = ResizingProblem(
+                    demands=predicted,
+                    capacity=capacity,
+                    alpha=cfg.policy.alpha,
+                    lower_bounds=lower,
+                    upper_bounds=np.full(m, capacity),
+                )
+                allocation, feasible = resize_allocation(
+                    problem,
+                    ResizingAlgorithm.ATM,
+                    epsilon=cfg.epsilon_pct / 100.0 * current,
+                    current=current,
+                )
+                if not feasible:
+                    allocation = current
+                truth = ResizingProblem(
+                    demands=actual[rows],
+                    capacity=capacity,
+                    alpha=cfg.policy.alpha,
+                    upper_bounds=np.full(m, capacity),
+                )
+                apes = [
+                    mean_absolute_percentage_error(actual[rows][i], predicted[i])
+                    for i in range(m)
+                ]
+                apes = [a for a in apes if np.isfinite(a)]
+                result.steps.append(
+                    OnlineStep(
+                        day_index=step,
+                        resource=resource,
+                        ape=float(np.mean(apes)) if apes else float("nan"),
+                        tickets_static=tickets_for_allocation(truth, current),
+                        tickets_atm=tickets_for_allocation(truth, allocation),
+                        allocation=allocation,
+                    )
+                )
+        return result
+
+
+def run_online_fleet(
+    fleet: FleetTrace,
+    config: Optional[AtmConfig] = None,
+    refit_every_steps: int = 1,
+) -> Dict[str, OnlineRunResult]:
+    """Run the rolling controller on every box long enough to support it."""
+    cfg = config or AtmConfig()
+    out: Dict[str, OnlineRunResult] = {}
+    needed = cfg.training_windows + cfg.horizon_windows
+    for box in fleet:
+        if box.n_windows < needed:
+            continue
+        controller = OnlineAtmController(box, cfg, refit_every_steps=refit_every_steps)
+        out[box.box_id] = controller.run()
+    if not out:
+        raise ValueError(f"no box in fleet {fleet.name!r} supports an online run")
+    return out

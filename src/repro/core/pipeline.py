@@ -1,0 +1,92 @@
+"""Fleet-scale ATM evaluation (the Section V production-trace study).
+
+Runs the per-box ATM controller over every box of a fleet and aggregates:
+
+* the Fig. 9 prediction-accuracy CDFs (all windows and peak-only),
+* the Fig. 10 ticket-reduction comparison driven by *predicted* demands,
+* signature-set statistics (how much of the fleet needed temporal models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.atm import AtmController, BoxAtmResult
+from repro.core.config import AtmConfig
+from repro.core.results import PredictionAccuracy, ape_cdf
+from repro.resizing.evaluate import FleetReduction, ResizingAlgorithm
+from repro.timeseries.ecdf import Ecdf
+from repro.trace.model import FleetTrace, Resource
+
+__all__ = ["FleetAtmResult", "run_fleet_atm"]
+
+
+@dataclass
+class FleetAtmResult:
+    """Aggregated outcome of an ATM run across a fleet."""
+
+    config: AtmConfig
+    accuracies: List[PredictionAccuracy] = field(default_factory=list)
+    reduction: FleetReduction = field(default_factory=FleetReduction)
+    box_results: List[BoxAtmResult] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- Fig. 9
+    def ape_cdf(self, peak: bool = False) -> Optional[Ecdf]:
+        """CDF of per-box mean APE (peak-only when ``peak``)."""
+        return ape_cdf(self.accuracies, peak=peak)
+
+    def mean_ape(self, peak: bool = False) -> float:
+        values = [a.peak_ape if peak else a.ape for a in self.accuracies]
+        finite = [v for v in values if np.isfinite(v)]
+        return float(np.mean(finite)) if finite else float("nan")
+
+    # --------------------------------------------------------------- Fig. 10
+    def mean_reduction(self, resource: Resource, algorithm: ResizingAlgorithm) -> float:
+        return self.reduction.mean_reduction(resource, algorithm)
+
+    def std_reduction(self, resource: Resource, algorithm: ResizingAlgorithm) -> float:
+        return self.reduction.std_reduction(resource, algorithm)
+
+    # ------------------------------------------------------------- signatures
+    def mean_signature_ratio(self) -> float:
+        values = [a.signature_ratio for a in self.accuracies]
+        return float(np.mean(values)) if values else float("nan")
+
+
+def run_fleet_atm(
+    fleet: FleetTrace,
+    config: Optional[AtmConfig] = None,
+    keep_box_results: bool = False,
+) -> FleetAtmResult:
+    """Run ATM end-to-end on every box of a fleet.
+
+    Boxes too short for the configured training + horizon windows are
+    skipped (the paper likewise restricts its ATM study to the subset of
+    gap-free boxes).
+
+    Parameters
+    ----------
+    keep_box_results:
+        Retain per-box predictions/allocations (memory-heavy for large
+        fleets); aggregates are always kept.
+    """
+    cfg = config or AtmConfig()
+    out = FleetAtmResult(config=cfg)
+    needed = cfg.training_windows + cfg.horizon_windows
+    for box in fleet:
+        if box.n_windows < needed:
+            continue
+        result = AtmController(box, cfg).run()
+        out.accuracies.append(result.accuracy)
+        for reduction in result.reductions.values():
+            out.reduction.add(reduction)
+        if keep_box_results:
+            out.box_results.append(result)
+    if not out.accuracies:
+        raise ValueError(
+            f"no box in fleet {fleet.name!r} has the {needed} windows required"
+        )
+    return out

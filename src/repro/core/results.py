@@ -1,0 +1,84 @@
+"""Result containers for ATM runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.timeseries.ecdf import Ecdf
+from repro.timeseries.metrics import (
+    mean_absolute_percentage_error,
+    peak_absolute_percentage_error,
+)
+
+__all__ = ["PredictionAccuracy", "accuracy_for_box"]
+
+
+@dataclass(frozen=True)
+class PredictionAccuracy:
+    """Per-box prediction accuracy, the Fig. 9 unit of analysis.
+
+    ``ape`` is the mean absolute percentage error across all series and
+    windows of the box; ``peak_ape`` restricts to windows whose *actual*
+    usage exceeded the ticket threshold (the paper's "Peak" CDFs).  Either
+    may be ``nan`` for degenerate boxes (e.g. no peaks).
+    """
+
+    box_id: str
+    ape: float
+    peak_ape: float
+    signature_ratio: float
+
+
+def accuracy_for_box(
+    box_id: str,
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    peak_thresholds: np.ndarray,
+    signature_ratio: float,
+) -> PredictionAccuracy:
+    """Compute per-box accuracy from actual/predicted demand matrices.
+
+    Parameters
+    ----------
+    actual, predicted:
+        ``(n_series, horizon)`` matrices in demand units.
+    peak_thresholds:
+        Per-series demand levels marking "peak" windows (``alpha`` times the
+        series' current allocated capacity — i.e. usage above the ticket
+        threshold).
+    """
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"actual and predicted shapes differ: {actual.shape} vs {predicted.shape}"
+        )
+    if peak_thresholds.shape != (actual.shape[0],):
+        raise ValueError("need one peak threshold per series")
+    apes: List[float] = []
+    peak_apes: List[float] = []
+    for row in range(actual.shape[0]):
+        value = mean_absolute_percentage_error(actual[row], predicted[row])
+        if np.isfinite(value):
+            apes.append(value)
+        peak = peak_absolute_percentage_error(
+            actual[row], predicted[row], peak_threshold=float(peak_thresholds[row])
+        )
+        if np.isfinite(peak):
+            peak_apes.append(peak)
+    return PredictionAccuracy(
+        box_id=box_id,
+        ape=float(np.mean(apes)) if apes else float("nan"),
+        peak_ape=float(np.mean(peak_apes)) if peak_apes else float("nan"),
+        signature_ratio=signature_ratio,
+    )
+
+
+def ape_cdf(accuracies: List[PredictionAccuracy], peak: bool = False) -> Optional[Ecdf]:
+    """Build the Fig. 9 CDF across boxes; ``None`` if no finite samples."""
+    values = [a.peak_ape if peak else a.ape for a in accuracies]
+    finite = [v for v in values if np.isfinite(v)]
+    if not finite:
+        return None
+    return Ecdf.from_samples(finite)

@@ -1,0 +1,44 @@
+"""Spatial-temporal prediction models (paper Section III).
+
+The ATM prediction methodology splits a box's ``M x N`` demand series into a
+small *signature set* — predicted with a (relatively expensive) temporal
+model — and a *dependent set* predicted as linear combinations of the
+signatures:
+
+* :mod:`repro.prediction.temporal` — temporal models: seasonal naive,
+  moving average, autoregressive, ARIMA-style, Holt-Winters, and the
+  NumPy MLP neural network used for the paper's signature series.
+* :mod:`repro.prediction.spatial` — signature-set search (DTW clustering /
+  correlation-based clustering + VIF / stepwise regression) and the linear
+  dependent-series models.
+* :mod:`repro.prediction.combined` — the full ATM spatial-temporal
+  predictor for a box.
+"""
+
+from repro.prediction.base import TemporalPredictor, fit_predict
+from repro.prediction.combined import (
+    BoxPrediction,
+    SpatialTemporalConfig,
+    SpatialTemporalPredictor,
+)
+from repro.prediction.registry import available_temporal_models, make_temporal_model
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    SpatialModel,
+    search_signature_set,
+)
+
+__all__ = [
+    "BoxPrediction",
+    "ClusteringMethod",
+    "SignatureSearchConfig",
+    "SpatialModel",
+    "SpatialTemporalConfig",
+    "SpatialTemporalPredictor",
+    "TemporalPredictor",
+    "available_temporal_models",
+    "fit_predict",
+    "make_temporal_model",
+    "search_signature_set",
+]

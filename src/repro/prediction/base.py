@@ -1,0 +1,68 @@
+"""Common interfaces for temporal predictors.
+
+Every temporal model in :mod:`repro.prediction.temporal` follows the same
+two-phase protocol: :meth:`fit` on a training history, then
+:meth:`predict` for a horizon of future windows.  The paper's setting is a
+5-day training history and a 1-day (96-window) horizon.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TemporalPredictor", "fit_predict", "validate_history", "validate_horizon"]
+
+
+def validate_history(history: Sequence[float], minimum: int = 2) -> np.ndarray:
+    """Coerce and validate a training history series."""
+    arr = np.asarray(history, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"history must be 1-D, got shape {arr.shape}")
+    if arr.size < minimum:
+        raise ValueError(f"history needs at least {minimum} samples, got {arr.size}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("history contains non-finite samples")
+    return arr
+
+
+def validate_horizon(horizon: int) -> int:
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    return int(horizon)
+
+
+class TemporalPredictor(abc.ABC):
+    """Base class for single-series forecasting models.
+
+    Subclasses must implement :meth:`fit` (storing whatever state they need)
+    and :meth:`predict`.  ``fit`` returns ``self`` so calls chain.
+    """
+
+    #: Set by fit(); subclasses may rely on it in predict().
+    _history: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, history: Sequence[float]) -> "TemporalPredictor":
+        """Train the model on a history series (oldest sample first)."""
+
+    @abc.abstractmethod
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` windows after the fitted history."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return getattr(self, "_history", None) is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted")
+
+
+def fit_predict(
+    model: TemporalPredictor, history: Sequence[float], horizon: int
+) -> np.ndarray:
+    """Convenience: fit a fresh model and forecast in one call."""
+    return model.fit(history).predict(horizon)

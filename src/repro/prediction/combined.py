@@ -1,0 +1,132 @@
+"""The full ATM spatial-temporal predictor for one box.
+
+Fitting: run the signature search on the training matrix, then fit one
+temporal model per signature series.  Predicting: forecast the signatures
+temporally, then reconstruct every dependent series through its spatial
+(linear) model — the expensive temporal machinery runs only on the reduced
+signature set, which is the paper's entire scalability argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.prediction.base import TemporalPredictor
+from repro.prediction.registry import make_temporal_model
+from repro.prediction.spatial.signatures import (
+    SignatureSearchConfig,
+    SpatialModel,
+    search_signature_set,
+)
+
+__all__ = ["SpatialTemporalConfig", "BoxPrediction", "SpatialTemporalPredictor"]
+
+
+@dataclass(frozen=True)
+class SpatialTemporalConfig:
+    """Configuration of the combined predictor.
+
+    Attributes
+    ----------
+    search:
+        Signature-search settings (clustering method, VIF threshold, ...).
+    temporal_model:
+        Registry name of the signature-series model ("neural" reproduces
+        the paper; cheaper baselines are available for ablations).
+    period:
+        Seasonal period in windows (96 = daily at 15 minutes).
+    clip_min / clip_max:
+        Forecast clipping bounds; demand series are non-negative, so the
+        default floor is 0.  ``clip_max`` may be ``None`` (no ceiling) or a
+        per-series array (e.g. allocated capacities).
+    """
+
+    search: SignatureSearchConfig = field(default_factory=SignatureSearchConfig)
+    temporal_model: str = "neural"
+    period: int = 96
+    clip_min: float = 0.0
+    clip_max: Optional[float] = None
+
+
+@dataclass
+class BoxPrediction:
+    """Forecast of a whole box: the matrix plus provenance for analysis."""
+
+    predictions: np.ndarray  # (n_series, horizon)
+    spatial: SpatialModel
+    temporal_model: str
+
+    @property
+    def n_series(self) -> int:
+        return self.predictions.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        return self.predictions.shape[1]
+
+    @property
+    def signature_ratio(self) -> float:
+        return self.spatial.signature_ratio
+
+
+class SpatialTemporalPredictor:
+    """ATM prediction for one box's ``(n_series, T)`` demand matrix."""
+
+    def __init__(self, config: Optional[SpatialTemporalConfig] = None) -> None:
+        self.config = config or SpatialTemporalConfig()
+        self._spatial: Optional[SpatialModel] = None
+        self._temporal: Dict[int, TemporalPredictor] = {}
+        self._train: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._spatial is not None
+
+    @property
+    def spatial_model(self) -> SpatialModel:
+        if self._spatial is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._spatial
+
+    def fit(self, train_matrix: Sequence[Sequence[float]]) -> "SpatialTemporalPredictor":
+        """Fit signature search, spatial models and per-signature temporal models."""
+        arr = np.asarray(train_matrix, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
+        spatial = search_signature_set(arr, self.config.search)
+        temporal: Dict[int, TemporalPredictor] = {}
+        for idx in spatial.signature_indices:
+            model = make_temporal_model(self.config.temporal_model, period=self.config.period)
+            temporal[idx] = model.fit(arr[idx])
+        self._spatial = spatial
+        self._temporal = temporal
+        self._train = arr
+        return self
+
+    def predict(self, horizon: int) -> BoxPrediction:
+        """Forecast every series of the box for the next ``horizon`` windows."""
+        if self._spatial is None:
+            raise RuntimeError("predictor has not been fitted")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        signature_forecasts = np.vstack(
+            [self._temporal[idx].predict(horizon) for idx in self._spatial.signature_indices]
+        )
+        full = self._spatial.reconstruct(signature_forecasts)
+        full = np.clip(full, self.config.clip_min, np.inf)
+        if self.config.clip_max is not None:
+            full = np.minimum(full, self.config.clip_max)
+        return BoxPrediction(
+            predictions=full,
+            spatial=self._spatial,
+            temporal_model=self.config.temporal_model,
+        )
+
+    def fit_predict(
+        self, train_matrix: Sequence[Sequence[float]], horizon: int
+    ) -> BoxPrediction:
+        """Fit and forecast in one call."""
+        return self.fit(train_matrix).predict(horizon)

@@ -1,0 +1,61 @@
+"""Factory for temporal models by name.
+
+The paper stresses that "any temporal prediction model can be directly
+plugged into the ATM framework"; this registry is that plug point.  Core
+configs reference temporal models by name so experiments can swap the
+signature predictor without code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.prediction.base import TemporalPredictor
+from repro.prediction.temporal import (
+    ArimaPredictor,
+    AutoRegressivePredictor,
+    HoltWintersPredictor,
+    LastValuePredictor,
+    MlpConfig,
+    MovingAveragePredictor,
+    NeuralNetPredictor,
+    SeasonalMeanPredictor,
+    SeasonalNaivePredictor,
+)
+
+__all__ = ["available_temporal_models", "make_temporal_model"]
+
+_FACTORIES: Dict[str, Callable[[int], TemporalPredictor]] = {
+    "last_value": lambda period: LastValuePredictor(),
+    "moving_average": lambda period: MovingAveragePredictor(window=max(2, period // 12)),
+    "seasonal_naive": lambda period: SeasonalNaivePredictor(period=period),
+    "seasonal_mean": lambda period: SeasonalMeanPredictor(period=period),
+    "ar": lambda period: AutoRegressivePredictor(order=4, seasonal_lags=(1,), period=period),
+    "arima": lambda period: ArimaPredictor(p=2, d=1, q=1),
+    "holt_winters": lambda period: HoltWintersPredictor(period=period),
+    "neural": lambda period: NeuralNetPredictor(MlpConfig(period=period)),
+}
+
+
+def available_temporal_models() -> Tuple[str, ...]:
+    """Names accepted by :func:`make_temporal_model`."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_temporal_model(name: str, period: int = 96) -> TemporalPredictor:
+    """Instantiate a fresh temporal model by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_temporal_models`.
+    period:
+        Seasonal period in windows, forwarded to seasonal models.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown temporal model {name!r}; available: {available_temporal_models()}"
+        ) from None
+    return factory(period)

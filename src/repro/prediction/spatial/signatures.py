@@ -1,0 +1,211 @@
+"""The two-step signature-set search and the fitted spatial model.
+
+Step 1 proposes an initial signature set by time-series clustering (DTW or
+CBC — see the sibling modules).  Step 2 checks the initial set for
+multicollinearity with variance inflation factors and demotes signatures
+with ``VIF > 4`` by stepwise regression: a cluster that looks distinct may
+still be a linear combination of other clusters' signatures (the paper's
+pitfall example), in which case its signature can be predicted instead of
+temporally modelled.
+
+The resulting :class:`SpatialModel` stores, for each *dependent* series, an
+OLS model over the *signature* series (paper Eq. 1), and can reconstruct
+the whole ``M x N`` series matrix from signature values — actual values for
+in-sample fitting accuracy (Fig. 6b), or temporal-model predictions for the
+full ATM pipeline (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.prediction.spatial.cbc import DEFAULT_RHO_THRESHOLD, correlation_based_clusters
+from repro.prediction.spatial.dtw_cluster import dtw_clusters
+from repro.timeseries.regression import OlsFit, fit_ols, stepwise_eliminate
+
+__all__ = [
+    "ClusteringMethod",
+    "SignatureSearchConfig",
+    "SpatialModel",
+    "search_signature_set",
+]
+
+
+class ClusteringMethod(enum.Enum):
+    """Step-1 clustering flavor.
+
+    DTW and CBC are the paper's two options; FEATURE is the cited
+    feature-extraction alternative ([11]) implemented in
+    :mod:`repro.prediction.spatial.features`.
+    """
+
+    DTW = "dtw"
+    CBC = "cbc"
+    FEATURE = "feature"
+
+
+@dataclass(frozen=True)
+class SignatureSearchConfig:
+    """Configuration of the signature search.
+
+    Attributes
+    ----------
+    method:
+        DTW or CBC clustering for step 1.
+    rho_threshold:
+        CBC strong-correlation threshold (paper: 0.7).
+    vif_threshold:
+        Step-2 multicollinearity threshold (paper: 4).
+    apply_stepwise:
+        Disable to evaluate step 1 alone (the "Clustering" bars of Fig. 6).
+    dtw_window:
+        Sakoe-Chiba half-width for DTW (None = unconstrained).
+    dtw_zscore:
+        Standardize series before DTW.
+    max_clusters:
+        Upper bound of the DTW/feature silhouette sweep (None = n_series // 2).
+    period:
+        Seasonal period for feature extraction (FEATURE method only).
+    """
+
+    method: ClusteringMethod = ClusteringMethod.CBC
+    rho_threshold: float = DEFAULT_RHO_THRESHOLD
+    vif_threshold: float = 4.0
+    apply_stepwise: bool = True
+    dtw_window: Optional[int] = 12
+    dtw_zscore: bool = True
+    max_clusters: Optional[int] = None
+    period: int = 96
+
+
+@dataclass
+class SpatialModel:
+    """A fitted spatial model for one box's series matrix.
+
+    ``signature_indices`` and ``dependent_indices`` partition
+    ``range(n_series)``; ``models[k]`` regresses dependent series ``k`` on
+    the signature series (in ``signature_indices`` order).
+    """
+
+    n_series: int
+    signature_indices: Tuple[int, ...]
+    dependent_indices: Tuple[int, ...]
+    models: Dict[int, OlsFit] = field(repr=False)
+    initial_signature_indices: Tuple[int, ...] = ()
+    cluster_labels: Tuple[int, ...] = ()
+
+    @property
+    def signature_ratio(self) -> float:
+        """Fraction of the original series kept as signatures (Fig. 6a metric)."""
+        return len(self.signature_indices) / self.n_series
+
+    def reconstruct(self, signature_values: np.ndarray) -> np.ndarray:
+        """Build the full series matrix from signature series values.
+
+        Parameters
+        ----------
+        signature_values:
+            ``(n_signatures, T)`` matrix whose rows align with
+            ``signature_indices`` — actual history for in-sample evaluation
+            or temporal-model forecasts for prediction.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_series, T)``: signature rows pass through verbatim,
+            dependent rows come from their OLS models.
+        """
+        sig = np.asarray(signature_values, dtype=float)
+        if sig.ndim != 2 or sig.shape[0] != len(self.signature_indices):
+            raise ValueError(
+                f"expected ({len(self.signature_indices)}, T) signature values, "
+                f"got {sig.shape}"
+            )
+        t = sig.shape[1]
+        out = np.zeros((self.n_series, t))
+        for row, idx in enumerate(self.signature_indices):
+            out[idx] = sig[row]
+        regressors = sig.T  # (T, n_signatures)
+        for idx in self.dependent_indices:
+            out[idx] = self.models[idx].predict(regressors)
+        return out
+
+    def fitted(self, data: np.ndarray) -> np.ndarray:
+        """In-sample reconstruction: feed the actual signature rows back."""
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != self.n_series:
+            raise ValueError(f"expected ({self.n_series}, T) data, got {arr.shape}")
+        return self.reconstruct(arr[list(self.signature_indices)])
+
+
+def _initial_signatures(
+    data: np.ndarray, config: SignatureSearchConfig
+) -> Tuple[List[int], Tuple[int, ...]]:
+    if config.method is ClusteringMethod.DTW:
+        result = dtw_clusters(
+            data,
+            window=config.dtw_window,
+            zscore=config.dtw_zscore,
+            max_clusters=config.max_clusters,
+        )
+        return list(result.signatures), result.labels
+    if config.method is ClusteringMethod.FEATURE:
+        from repro.prediction.spatial.features import feature_clusters
+
+        result = feature_clusters(
+            data, period=config.period, max_clusters=config.max_clusters
+        )
+        return list(result.signatures), result.labels
+    result = correlation_based_clusters(data, rho_threshold=config.rho_threshold)
+    return list(result.signatures), result.labels
+
+
+def search_signature_set(
+    data: Sequence[Sequence[float]],
+    config: Optional[SignatureSearchConfig] = None,
+) -> SpatialModel:
+    """Run the full two-step signature search and fit the spatial model.
+
+    Parameters
+    ----------
+    data:
+        ``(n_series, T)`` training matrix — all demand series of one box
+        (CPU and RAM stacked for the inter-resource model, or one resource
+        only for the intra variants of Fig. 7).
+    config:
+        Search configuration; defaults to CBC + stepwise.
+    """
+    cfg = config or SignatureSearchConfig()
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"data must be 2-D (n_series, T), got {arr.shape}")
+    n_series = arr.shape[0]
+    if n_series == 0:
+        raise ValueError("need at least one series")
+
+    initial, labels = _initial_signatures(arr, cfg)
+    initial_sorted = sorted(initial)
+
+    final = list(initial_sorted)
+    if cfg.apply_stepwise and len(final) > 1:
+        matrix = arr[final].T  # (T, n_initial_signatures)
+        kept_cols, _removed = stepwise_eliminate(
+            matrix, vif_threshold=cfg.vif_threshold, min_keep=1
+        )
+        final = sorted(final[col] for col in kept_cols)
+
+    dependents = tuple(i for i in range(n_series) if i not in set(final))
+    regressors = arr[final].T  # (T, n_signatures)
+    models = {idx: fit_ols(arr[idx], regressors) for idx in dependents}
+    return SpatialModel(
+        n_series=n_series,
+        signature_indices=tuple(final),
+        dependent_indices=dependents,
+        models=models,
+        initial_signature_indices=tuple(initial_sorted),
+        cluster_labels=tuple(labels),
+    )

@@ -1,0 +1,100 @@
+"""Autoregressive least-squares predictors.
+
+``AutoRegressivePredictor`` fits
+
+    y_t = c + sum_k phi_k y_{t-k} + sum_j psi_j y_{t - j*period}
+
+by ordinary least squares over the training history and forecasts
+iteratively.  Seasonal lags (multiples of the daily period) give the model a
+handle on diurnal structure that plain short lags miss over a one-day
+horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.prediction.base import TemporalPredictor, validate_history, validate_horizon
+
+__all__ = ["AutoRegressivePredictor"]
+
+
+class AutoRegressivePredictor(TemporalPredictor):
+    """AR model with optional seasonal lags, fitted by least squares.
+
+    Parameters
+    ----------
+    order:
+        Number of consecutive short lags ``y_{t-1} .. y_{t-order}``.
+    seasonal_lags:
+        Which multiples of ``period`` to include as additional lags (e.g.
+        ``(1, 2)`` adds ``y_{t-96}`` and ``y_{t-192}`` for 15-min data).
+    period:
+        The seasonal period in windows; ignored when ``seasonal_lags`` is
+        empty.
+    """
+
+    def __init__(
+        self,
+        order: int = 4,
+        seasonal_lags: Tuple[int, ...] = (1,),
+        period: int = 96,
+    ) -> None:
+        if order < 0:
+            raise ValueError("order must be >= 0")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if any(s < 1 for s in seasonal_lags):
+            raise ValueError("seasonal lags must be positive")
+        if order == 0 and not seasonal_lags:
+            raise ValueError("model needs at least one lag")
+        self.order = order
+        self.seasonal_lags = tuple(seasonal_lags)
+        self.period = period
+        self._history = None
+        self._coef: np.ndarray = np.array([])
+        self._intercept: float = 0.0
+
+    @property
+    def _lags(self) -> Tuple[int, ...]:
+        lags = list(range(1, self.order + 1))
+        lags += [s * self.period for s in self.seasonal_lags]
+        return tuple(sorted(set(lags)))
+
+    def fit(self, history: Sequence[float]) -> "AutoRegressivePredictor":
+        arr = validate_history(history, minimum=2)
+        lags = [lag for lag in self._lags if lag < arr.size]
+        if not lags:
+            # History shorter than every lag: degrade to a mean model.
+            self._history = arr
+            self._coef = np.array([])
+            self._fit_lags: Tuple[int, ...] = ()
+            self._intercept = float(arr.mean())
+            return self
+        max_lag = max(lags)
+        n_rows = arr.size - max_lag
+        design = np.column_stack(
+            [np.ones(n_rows)] + [arr[max_lag - lag : arr.size - lag] for lag in lags]
+        )
+        target = arr[max_lag:]
+        solution, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+        self._history = arr
+        self._fit_lags = tuple(lags)
+        self._intercept = float(solution[0])
+        self._coef = solution[1:]
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = validate_horizon(horizon)
+        if not self._fit_lags:
+            return np.full(horizon, self._intercept)
+        max_lag = max(self._fit_lags)
+        buffer = np.concatenate([self._history[-max_lag:], np.empty(horizon)])
+        for step in range(horizon):
+            t = max_lag + step
+            lag_values = np.array([buffer[t - lag] for lag in self._fit_lags])
+            buffer[t] = self._intercept + float(self._coef @ lag_values)
+        return buffer[max_lag:]

@@ -1,0 +1,117 @@
+"""Naive and seasonal baseline predictors.
+
+These are the cheap reference points every serious temporal model must beat.
+``SeasonalNaivePredictor`` (repeat yesterday) and ``SeasonalMeanPredictor``
+(average the same time-of-day slot over the training days) are surprisingly
+strong on diurnal data-center series and serve as the overhead floor in the
+prediction-cost benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.prediction.base import TemporalPredictor, validate_history, validate_horizon
+
+__all__ = [
+    "LastValuePredictor",
+    "MovingAveragePredictor",
+    "SeasonalNaivePredictor",
+    "SeasonalMeanPredictor",
+]
+
+
+class LastValuePredictor(TemporalPredictor):
+    """Forecast every future window as the last observed value."""
+
+    def __init__(self) -> None:
+        self._history = None
+
+    def fit(self, history: Sequence[float]) -> "LastValuePredictor":
+        self._history = validate_history(history, minimum=1)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = validate_horizon(horizon)
+        return np.full(horizon, self._history[-1])
+
+
+class MovingAveragePredictor(TemporalPredictor):
+    """Forecast every future window as the mean of the last ``window`` samples."""
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._history = None
+
+    def fit(self, history: Sequence[float]) -> "MovingAveragePredictor":
+        self._history = validate_history(history, minimum=1)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = validate_horizon(horizon)
+        tail = self._history[-self.window :]
+        return np.full(horizon, float(tail.mean()))
+
+
+class SeasonalNaivePredictor(TemporalPredictor):
+    """Repeat the last full season (e.g. yesterday's 96 windows)."""
+
+    def __init__(self, period: int = 96) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._history = None
+
+    def fit(self, history: Sequence[float]) -> "SeasonalNaivePredictor":
+        self._history = validate_history(history, minimum=self.period)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = validate_horizon(horizon)
+        last_season = self._history[-self.period :]
+        repeats = int(np.ceil(horizon / self.period))
+        return np.tile(last_season, repeats)[:horizon]
+
+
+class SeasonalMeanPredictor(TemporalPredictor):
+    """Average each time-of-day slot over all training days.
+
+    More robust than seasonal-naive when individual days carry bursts: the
+    per-slot mean smooths one-off spikes while preserving the diurnal shape.
+    """
+
+    def __init__(self, period: int = 96) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._history = None
+        self._slot_means: np.ndarray = np.array([])
+
+    def fit(self, history: Sequence[float]) -> "SeasonalMeanPredictor":
+        arr = validate_history(history, minimum=self.period)
+        self._history = arr
+        # Phase-align slots to the *end* of the history so the next forecast
+        # window continues the season correctly even for partial days.
+        sums = np.zeros(self.period)
+        counts = np.zeros(self.period)
+        offset = arr.size % self.period
+        for t in range(arr.size):
+            slot = (t - offset) % self.period
+            sums[slot] += arr[t]
+            counts[slot] += 1
+        counts[counts == 0] = 1.0
+        self._slot_means = sums / counts
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = validate_horizon(horizon)
+        slots = np.arange(horizon) % self.period
+        return self._slot_means[slots]

@@ -1,0 +1,79 @@
+"""Baseline allocation policies: "stingy" and max-min fairness (Section IV-B).
+
+* **Stingy** allocates each VM exactly its lower bound — the peak demand of
+  the window, regardless of the ticket threshold ("often used in practice").
+  Every window at the peak then sits at 100% utilization and tickets freely.
+* **Max-min fairness** progressively fills capacity toward each VM's
+  threshold-aware target ``max(D_i) / alpha`` starting from the smallest
+  demands, "favoring small VMs while dissatisfying big VMs" — which is
+  exactly the failure mode the paper observes in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resizing.problem import ResizingProblem
+
+__all__ = ["stingy_allocation", "max_min_fairness_allocation"]
+
+
+def stingy_allocation(problem: ResizingProblem) -> np.ndarray:
+    """Allocate each VM its peak demand (threshold-unaware), within bounds."""
+    peaks = problem.demands.max(axis=1)
+    return problem.clamp(peaks)
+
+
+def max_min_fairness_allocation(problem: ResizingProblem) -> np.ndarray:
+    """Progressive-filling max-min fairness toward ticket-free targets.
+
+    Each VM's target is ``max(D_i) / alpha`` — the capacity at which its
+    whole window stays below the ticket threshold.  Capacity is poured
+    equally into all unsatisfied VMs; whenever a VM reaches its target it
+    drops out (small VMs finish first).  Lower bounds are funded up front;
+    upper bounds cap the pour.
+    """
+    m = problem.n_vms
+    targets = problem.demands.max(axis=1) / problem.alpha
+    targets = np.minimum(targets, problem.upper_bounds)
+    targets = np.maximum(targets, problem.lower_bounds)
+
+    alloc = problem.lower_bounds.copy()
+    remaining = problem.capacity - float(alloc.sum())
+    if remaining <= 0:
+        # Lower bounds alone exhaust (or exceed) the box; nothing to pour.
+        return alloc
+
+    active = [i for i in range(m) if targets[i] > alloc[i] + 1e-12]
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        needs = {i: targets[i] - alloc[i] for i in active}
+        finished = [i for i in active if needs[i] <= share + 1e-12]
+        if finished:
+            # Fund the nearly satisfied VMs fully; they leave the pour.
+            for i in finished:
+                remaining -= needs[i]
+                alloc[i] = targets[i]
+            active = [i for i in active if i not in set(finished)]
+        else:
+            for i in active:
+                alloc[i] += share
+            remaining = 0.0
+
+    # "... until all capacity is exhausted": surplus beyond every target is
+    # poured equally into all VMs that still have room under their upper
+    # bounds.
+    while remaining > 1e-9:
+        open_vms = [i for i in range(m) if alloc[i] < problem.upper_bounds[i] - 1e-12]
+        if not open_vms:
+            break
+        share = remaining / len(open_vms)
+        poured = 0.0
+        for i in open_vms:
+            grant = min(share, problem.upper_bounds[i] - alloc[i])
+            alloc[i] += grant
+            poured += grant
+        remaining -= poured
+        if poured <= 1e-12:
+            break
+    return alloc

@@ -1,0 +1,108 @@
+"""Dominant Resource Fairness allocator (Ghodsi et al., NSDI'11 — paper ref [17]).
+
+The paper's related work singles out DRF as the canonical multi-resource
+fairness policy.  This module adds it as a further baseline: instead of
+sizing CPU and RAM independently (max-min per resource), DRF equalizes each
+VM's *dominant share* — the maximum, over resources, of its allocated
+fraction of the box.
+
+Like the other fairness baselines, DRF aims at fairness, not tickets; its
+ticket reduction is a side effect, which is exactly the contrast the paper
+draws with ATM's objective-driven sizing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.resizing.problem import ResizingProblem
+from repro.trace.model import Resource
+
+__all__ = ["drf_allocation"]
+
+_STEP_FRACTION = 5e-4  # progressive-filling granularity (fraction of box)
+
+
+def drf_allocation(
+    problems: Dict[Resource, ResizingProblem]
+) -> Dict[Resource, np.ndarray]:
+    """Allocate CPU and RAM jointly with dominant-resource fairness.
+
+    Parameters
+    ----------
+    problems:
+        One :class:`ResizingProblem` per resource for the *same* VMs (equal
+        ``n_vms``, aligned indices).  Each VM's target per resource is the
+        ticket-free level ``peak / alpha``.
+
+    Returns
+    -------
+    dict
+        Per-resource allocation vectors.  Progressive filling: repeatedly
+        grant a small allocation step to the VM with the lowest dominant
+        share until every target is met or both budgets are exhausted.
+    """
+    if not problems:
+        raise ValueError("need at least one resource problem")
+    resources = sorted(problems, key=lambda r: r.value)
+    n_vms = {problems[r].n_vms for r in resources}
+    if len(n_vms) != 1:
+        raise ValueError("all resource problems must cover the same VMs")
+    m = n_vms.pop()
+
+    capacity = {r: problems[r].capacity for r in resources}
+    targets = {
+        r: np.minimum(
+            problems[r].demands.max(axis=1) / problems[r].alpha,
+            problems[r].upper_bounds,
+        )
+        for r in resources
+    }
+    alloc = {r: np.zeros(m) for r in resources}
+    remaining = {r: capacity[r] for r in resources}
+    # Demand profile per VM: how much of each resource one "step" uses,
+    # proportional to its remaining target mix (the DRF demand vector).
+    step = {r: _STEP_FRACTION * capacity[r] for r in resources}
+
+    def dominant_share(i: int) -> float:
+        return max(alloc[r][i] / capacity[r] for r in resources)
+
+    def unmet(i: int) -> bool:
+        return any(alloc[r][i] < targets[r][i] - 1e-12 for r in resources)
+
+    active = [i for i in range(m) if unmet(i)]
+    # Upper bound on iterations: each grant moves one VM one step on some
+    # resource; total steps are bounded by sum of targets / step sizes.
+    max_iterations = int(4.0 / _STEP_FRACTION) * max(1, len(resources))
+    iterations = 0
+    while active and iterations < max_iterations:
+        iterations += 1
+        i = min(active, key=dominant_share)
+        granted = False
+        for r in resources:
+            want = targets[r][i] - alloc[r][i]
+            if want <= 1e-12:
+                continue
+            grant = min(step[r], want, remaining[r])
+            if grant > 1e-12:
+                alloc[r][i] += grant
+                remaining[r] -= grant
+                granted = True
+        if not granted or not unmet(i):
+            active = [j for j in active if j != i and unmet(j)]
+            if granted and unmet(i):
+                active.append(i)
+        if all(remaining[r] <= 1e-12 for r in resources):
+            break
+        # Drop VMs whose every outstanding resource has an empty budget.
+        active = [
+            j
+            for j in active
+            if any(
+                alloc[r][j] < targets[r][j] - 1e-12 and remaining[r] > 1e-12
+                for r in resources
+            )
+        ]
+    return alloc

@@ -1,0 +1,102 @@
+"""Greedy MCKP solver driven by marginal ticket reduction values (MTRV).
+
+The paper solves R' in the spirit of Pisinger's "minimal algorithm": start
+every VM at its largest candidate capacity (fewest tickets) and, while the
+budget is exceeded, shrink the VM whose next step down costs the fewest
+tickets per unit of capacity freed:
+
+    MTRV = (P_{i,o} - P_{i,o-1}) / (D'_{i,o-1} - D'_{i,o})        (Eq. 12)
+
+The VM with the lowest MTRV steps to its next (smaller) candidate.  The loop
+ends when the chosen capacities fit in the budget, or no VM can shrink
+further (infeasible bounds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.resizing.mckp import MckpInstance, MckpSolution
+
+__all__ = ["solve_greedy", "mtrv"]
+
+
+def mtrv(instance: MckpInstance, group_index: int, choice: int) -> float:
+    """Marginal ticket reduction value of stepping group ``group_index``
+    from candidate ``choice`` to ``choice + 1``.
+
+    Smaller is better for shrinking: few extra tickets per unit capacity
+    freed.
+    """
+    group = instance.groups[group_index]
+    if choice + 1 >= group.n_choices:
+        raise IndexError(f"group {group_index} cannot step below choice {choice}")
+    dt = float(group.tickets[choice + 1] - group.tickets[choice])
+    dc = float(group.capacities[choice] - group.capacities[choice + 1])
+    if dc <= 0:  # pragma: no cover - groups are strictly decreasing
+        raise ValueError("candidate capacities must strictly decrease")
+    return dt / dc
+
+
+def solve_greedy(instance: MckpInstance) -> MckpSolution:
+    """Solve an MCKP instance with the MTRV greedy.
+
+    Deterministic tie-breaking: lowest MTRV first, then the largest capacity
+    release, then the lowest VM index.  Runs in
+    ``O(total_candidates * log M)`` using a heap of current step offers.
+
+    When even the smallest candidates exceed the budget the solution is
+    returned with ``feasible=False`` and every group at its last candidate —
+    the caller decides how to degrade (the fleet evaluator falls back to the
+    original allocation in that case).
+    """
+    n = instance.n_vms
+    choices = [0] * n
+    total = instance.max_total_capacity()
+    iterations = 0
+
+    if total <= instance.capacity + 1e-9:
+        alloc = instance.allocation_for(choices)
+        return MckpSolution(
+            allocations=alloc,
+            choices=tuple(choices),
+            tickets=instance.tickets_for(choices),
+            feasible=True,
+            iterations=0,
+        )
+
+    # Heap entries: (mtrv, -capacity_release, vm_index, choice_at_push).
+    heap: List[tuple] = []
+    for g in range(n):
+        if instance.groups[g].n_choices > 1:
+            release = float(
+                instance.groups[g].capacities[0] - instance.groups[g].capacities[1]
+            )
+            heapq.heappush(heap, (mtrv(instance, g, 0), -release, g, 0))
+
+    while total > instance.capacity + 1e-9 and heap:
+        value, neg_release, g, pushed_choice = heapq.heappop(heap)
+        if pushed_choice != choices[g]:
+            continue  # stale offer from an earlier state of this group
+        group = instance.groups[g]
+        choices[g] += 1
+        total -= group.capacities[pushed_choice] - group.capacities[choices[g]]
+        iterations += 1
+        if choices[g] + 1 < group.n_choices:
+            release = float(
+                group.capacities[choices[g]] - group.capacities[choices[g] + 1]
+            )
+            heapq.heappush(
+                heap, (mtrv(instance, g, choices[g]), -release, g, choices[g])
+            )
+
+    feasible = total <= instance.capacity + 1e-9
+    alloc = instance.allocation_for(choices)
+    return MckpSolution(
+        allocations=alloc,
+        choices=tuple(choices),
+        tickets=instance.tickets_for(choices),
+        feasible=feasible,
+        iterations=iterations,
+    )

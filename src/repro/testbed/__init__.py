@@ -1,0 +1,38 @@
+"""Simulated MediaWiki testbed (paper Section V-B, Figs. 11-13).
+
+The paper's experimental cluster — two MediaWiki deployments (Apache /
+Memcached / MySQL tiers) on three QEMU-KVM hosts plus a load generator,
+with ATM enforcing CPU limits through cgroups — is reproduced here as a
+time-stepped queueing simulation:
+
+* :mod:`repro.testbed.workload` — the alternating low/high load generator.
+* :mod:`repro.testbed.queueing` — processor-sharing tier response times.
+* :mod:`repro.testbed.cluster` — nodes, VM placement, cgroups actuation.
+* :mod:`repro.testbed.mediawiki` — the wiki-one / wiki-two topologies and
+  per-window tier demand/latency model.
+* :mod:`repro.testbed.experiment` — original-vs-resized runs producing the
+  Fig. 12 usage series and Fig. 13 RT/TPUT comparison.
+"""
+
+from repro.testbed.cluster import NodeSpec, TestbedCluster, VMInstance
+from repro.testbed.experiment import (
+    ExperimentResult,
+    TestbedConfig,
+    run_testbed_experiment,
+)
+from repro.testbed.mediawiki import WikiDeployment, WikiSpec, wiki_one_spec, wiki_two_spec
+from repro.testbed.workload import AlternatingLoad
+
+__all__ = [
+    "AlternatingLoad",
+    "ExperimentResult",
+    "NodeSpec",
+    "TestbedCluster",
+    "TestbedConfig",
+    "VMInstance",
+    "WikiDeployment",
+    "WikiSpec",
+    "run_testbed_experiment",
+    "wiki_one_spec",
+    "wiki_two_spec",
+]

@@ -1,0 +1,186 @@
+"""MediaWiki deployment model: tiers, service demands, per-window metrics.
+
+Requests enter a load balancer, fan out over the Apache front-ends, hit
+memcached for every request, and fall through to MySQL on cache misses.
+Per ticketing window the model computes, from the offered request rate and
+the currently enforced CPU limits:
+
+* per-VM CPU demand (GHz) and usage (percent of limit, capped at 100 —
+  cgroups do not let a VM run past its quota),
+* wiki throughput (bounded by the most saturated tier), and
+* mean user response time (sum of PS tier response times plus a fixed
+  network/render component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.testbed.cluster import TestbedCluster, VMInstance
+from repro.testbed.queueing import SATURATION_RHO, ps_response_time
+from repro.testbed.workload import AlternatingLoad
+
+__all__ = ["TierSpec", "WikiSpec", "WikiDeployment", "wiki_one_spec", "wiki_two_spec"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """CPU cost and latency profile of one tier."""
+
+    work_per_request: float      # GHz-seconds of CPU per request hitting the tier
+    base_service_time: float     # seconds at zero load
+    background_ghz: float = 0.15  # OS / daemon overhead
+
+
+@dataclass(frozen=True)
+class WikiSpec:
+    """One MediaWiki deployment: topology, tier costs, offered load."""
+
+    name: str
+    n_apache: int
+    n_memcached: int
+    n_db: int
+    apache: TierSpec
+    memcached: TierSpec
+    mysql: TierSpec
+    cache_miss_ratio: float
+    network_overhead: float      # fixed RT component (seconds)
+    load: AlternatingLoad
+
+    def __post_init__(self) -> None:
+        if min(self.n_apache, self.n_memcached, self.n_db) < 1:
+            raise ValueError(f"{self.name}: every tier needs at least one VM")
+        if not 0.0 <= self.cache_miss_ratio <= 1.0:
+            raise ValueError("cache_miss_ratio must be in [0, 1]")
+
+
+def wiki_one_spec() -> WikiSpec:
+    """The larger deployment: 4 Apache, 2 Memcached, 1 MySQL (Fig. 11)."""
+    return WikiSpec(
+        name="wiki-one",
+        n_apache=4,
+        n_memcached=2,
+        n_db=1,
+        apache=TierSpec(work_per_request=0.024, base_service_time=0.070),
+        memcached=TierSpec(work_per_request=0.0012, base_service_time=0.004),
+        mysql=TierSpec(work_per_request=0.008, base_service_time=0.075),
+        cache_miss_ratio=0.35,
+        network_overhead=0.18,
+        load=AlternatingLoad(low_rps=130.0, high_rps=400.0),
+    )
+
+
+def wiki_two_spec() -> WikiSpec:
+    """The smaller deployment: 2 Apache, 1 Memcached, 1 MySQL (Fig. 11)."""
+    return WikiSpec(
+        name="wiki-two",
+        n_apache=2,
+        n_memcached=1,
+        n_db=1,
+        apache=TierSpec(work_per_request=0.27, base_service_time=0.035),
+        memcached=TierSpec(work_per_request=0.004, base_service_time=0.006),
+        mysql=TierSpec(work_per_request=0.10, base_service_time=0.80),
+        cache_miss_ratio=0.40,
+        network_overhead=0.17,
+        load=AlternatingLoad(low_rps=10.0, high_rps=24.0, start_low=False),
+    )
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """Per-window application metrics of one wiki."""
+
+    offered_rps: float
+    throughput_rps: float
+    response_time_s: float
+    demands_ghz: Dict[str, float]  # vm_id -> CPU demand
+
+
+class WikiDeployment:
+    """Binds a :class:`WikiSpec` to its VM instances on the cluster."""
+
+    def __init__(self, spec: WikiSpec, cluster: TestbedCluster) -> None:
+        self.spec = spec
+        self.cluster = cluster
+        mine = [vm for vm in cluster.vms.values() if vm.wiki == spec.name]
+        self.apache = sorted((vm for vm in mine if vm.tier == "apache"), key=lambda v: v.vm_id)
+        self.memcached = sorted(
+            (vm for vm in mine if vm.tier == "memcached"), key=lambda v: v.vm_id
+        )
+        self.mysql = sorted((vm for vm in mine if vm.tier == "mysql"), key=lambda v: v.vm_id)
+        expected = (spec.n_apache, spec.n_memcached, spec.n_db)
+        actual = (len(self.apache), len(self.memcached), len(self.mysql))
+        if expected != actual:
+            raise ValueError(
+                f"{spec.name}: cluster hosts {actual} (apache, memcached, mysql) "
+                f"VMs but the spec wants {expected}"
+            )
+
+    def _tier_step(
+        self,
+        vms: List[VMInstance],
+        tier: TierSpec,
+        offered_rps: float,
+    ) -> Tuple[float, float, Dict[str, float]]:
+        """Evaluate one tier; returns (served rate, mean RT, per-VM demand)."""
+        per_vm_rate = offered_rps / len(vms)
+        served = 0.0
+        demands: Dict[str, float] = {}
+        rts: List[float] = []
+        for vm in vms:
+            demand = per_vm_rate * tier.work_per_request + tier.background_ghz
+            demands[vm.vm_id] = demand
+            usable = max(vm.cpu_limit * SATURATION_RHO - tier.background_ghz, 1e-9)
+            vm_served = min(per_vm_rate, usable / tier.work_per_request)
+            served += vm_served
+            # Latency is experienced by *served* requests (the balancer
+            # bounds the queue), at a utilization capped below the PS pole.
+            rho_served = (vm_served * tier.work_per_request + tier.background_ghz) / max(
+                vm.cpu_limit, 1e-9
+            )
+            rts.append(
+                ps_response_time(tier.base_service_time, rho_served, rho_cap=0.90)
+            )
+        return served, float(np.mean(rts)), demands
+
+    def step(self, offered_rps: float) -> WindowMetrics:
+        """Evaluate the whole deployment for one ticketing window."""
+        spec = self.spec
+        apache_served, apache_rt, demands = self._tier_step(
+            self.apache, spec.apache, offered_rps
+        )
+        mc_served, mc_rt, mc_demands = self._tier_step(
+            self.memcached, spec.memcached, apache_served
+        )
+        demands.update(mc_demands)
+        miss_rps = mc_served * spec.cache_miss_ratio
+        db_served_miss, db_rt, db_demands = self._tier_step(
+            self.mysql, spec.mysql, miss_rps
+        )
+        demands.update(db_demands)
+        # End-to-end throughput: misses that the DB cannot absorb stall the
+        # requests that triggered them.
+        if spec.cache_miss_ratio > 0:
+            db_limited = db_served_miss / spec.cache_miss_ratio
+        else:  # pragma: no cover - both specs have misses
+            db_limited = float("inf")
+        throughput = min(apache_served, mc_served, db_limited)
+        response_time = (
+            apache_rt
+            + mc_rt
+            + spec.cache_miss_ratio * db_rt
+            + spec.network_overhead
+        )
+        return WindowMetrics(
+            offered_rps=offered_rps,
+            throughput_rps=float(throughput),
+            response_time_s=float(response_time),
+            demands_ghz=demands,
+        )
+
+    @property
+    def vm_ids(self) -> List[str]:
+        return [vm.vm_id for vm in (*self.apache, *self.memcached, *self.mysql)]

@@ -1,0 +1,69 @@
+"""Load generation for the MediaWiki testbed.
+
+"The workload generator creates requests alternating between low and high
+intensity periods, each lasting one hour."  :class:`AlternatingLoad`
+reproduces that pattern at ticketing-window granularity with mild
+multiplicative noise, so the simulated monitoring sees realistic variation
+rather than a perfect square wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.workloads import alternating_load
+
+__all__ = ["AlternatingLoad"]
+
+
+@dataclass(frozen=True)
+class AlternatingLoad:
+    """Alternating low/high request rates for one application.
+
+    Attributes
+    ----------
+    low_rps / high_rps:
+        Request rates (requests/second) of the two phases.
+    windows_per_phase:
+        Phase length in ticketing windows (1 hour = 4 x 15-minute windows).
+    noise:
+        Multiplicative jitter (standard deviation as a fraction).
+    start_low:
+        Whether the experiment opens with the low phase.
+    """
+
+    low_rps: float
+    high_rps: float
+    windows_per_phase: int = 4
+    noise: float = 0.04
+    start_low: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low_rps < 0 or self.high_rps < self.low_rps:
+            raise ValueError("need 0 <= low_rps <= high_rps")
+        if self.windows_per_phase < 1:
+            raise ValueError("windows_per_phase must be >= 1")
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+
+    @property
+    def period_windows(self) -> int:
+        """One full low+high cycle, in windows."""
+        return 2 * self.windows_per_phase
+
+    def rates(self, n_windows: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the offered request rate for each ticketing window."""
+        base = alternating_load(
+            n_windows,
+            self.windows_per_phase,
+            low=self.low_rps,
+            high=self.high_rps,
+            start_low=self.start_low,
+        )
+        if rng is None or self.noise == 0:
+            return base
+        jitter = rng.normal(1.0, self.noise, size=n_windows)
+        return np.maximum(base * jitter, 0.0)

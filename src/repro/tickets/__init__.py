@@ -1,0 +1,56 @@
+"""Ticketing substrate: policies, monitoring, and the Section II analyses.
+
+Usage tickets fire when a VM's resource utilization exceeds a threshold of
+its allocated capacity during a 15-minute ticketing window.  This subpackage
+turns usage/demand series into ticket events and reproduces the paper's
+characterization study:
+
+* :mod:`repro.tickets.policy` — threshold/window policies.
+* :mod:`repro.tickets.monitor` — ticket extraction and counting.
+* :mod:`repro.tickets.characterization` — Fig. 2 (ticket distribution,
+  culprit VMs) and Fig. 3 (spatial-correlation CDFs).
+"""
+
+from repro.tickets.costs import CostBreakdown, TicketCostModel
+from repro.tickets.incidents import (
+    Incident,
+    fleet_incident_stats,
+    group_incidents,
+    incidents_for_box,
+)
+from repro.tickets.characterization import (
+    BoxTicketStats,
+    CorrelationCdfs,
+    FleetTicketSummary,
+    correlation_cdfs,
+    fleet_ticket_summary,
+)
+from repro.tickets.monitor import (
+    TicketRecord,
+    count_tickets,
+    count_tickets_for_demand,
+    ticket_matrix,
+    tickets_for_box,
+)
+from repro.tickets.policy import DEFAULT_THRESHOLDS, TicketPolicy
+
+__all__ = [
+    "BoxTicketStats",
+    "CorrelationCdfs",
+    "CostBreakdown",
+    "Incident",
+    "TicketCostModel",
+    "fleet_incident_stats",
+    "group_incidents",
+    "incidents_for_box",
+    "DEFAULT_THRESHOLDS",
+    "FleetTicketSummary",
+    "TicketPolicy",
+    "TicketRecord",
+    "correlation_cdfs",
+    "count_tickets",
+    "count_tickets_for_demand",
+    "fleet_ticket_summary",
+    "ticket_matrix",
+    "tickets_for_box",
+]

@@ -1,0 +1,64 @@
+"""Time-series mathematics substrate for the ATM reproduction.
+
+This subpackage implements, from scratch on top of NumPy, every statistical
+primitive the paper's prediction and characterization pipelines rely on:
+
+* :mod:`repro.timeseries.dtw` — dynamic time warping distances (Section III-A).
+* :mod:`repro.timeseries.correlation` — Pearson correlation and the
+  intra/inter correlation decomposition of Section II-B.
+* :mod:`repro.timeseries.clustering` — agglomerative hierarchical clustering
+  over precomputed dissimilarity matrices.
+* :mod:`repro.timeseries.silhouette` — silhouette scores used to pick the
+  number of DTW clusters.
+* :mod:`repro.timeseries.regression` — ordinary least squares, variance
+  inflation factors, and stepwise elimination (Section III, step 2).
+* :mod:`repro.timeseries.metrics` — APE/MAPE and related accuracy metrics.
+* :mod:`repro.timeseries.ecdf` — empirical CDFs and box-plot summaries used
+  throughout the evaluation figures.
+* :mod:`repro.timeseries.smoothing` — moving-average and EWMA helpers.
+"""
+
+from repro.timeseries.correlation import (
+    CorrelationDecomposition,
+    pairwise_correlation_matrix,
+    pearson,
+)
+from repro.timeseries.clustering import HierarchicalClustering, Linkage
+from repro.timeseries.dtw import dtw_distance, dtw_distance_matrix, dtw_path
+from repro.timeseries.ecdf import BoxplotSummary, Ecdf
+from repro.timeseries.metrics import (
+    absolute_percentage_errors,
+    mean_absolute_percentage_error,
+    peak_absolute_percentage_error,
+    root_mean_squared_error,
+)
+from repro.timeseries.regression import (
+    OlsFit,
+    fit_ols,
+    stepwise_eliminate,
+    variance_inflation_factors,
+)
+from repro.timeseries.silhouette import mean_silhouette, silhouette_values
+
+__all__ = [
+    "BoxplotSummary",
+    "CorrelationDecomposition",
+    "Ecdf",
+    "HierarchicalClustering",
+    "Linkage",
+    "OlsFit",
+    "absolute_percentage_errors",
+    "dtw_distance",
+    "dtw_distance_matrix",
+    "dtw_path",
+    "fit_ols",
+    "mean_absolute_percentage_error",
+    "mean_silhouette",
+    "pairwise_correlation_matrix",
+    "peak_absolute_percentage_error",
+    "pearson",
+    "root_mean_squared_error",
+    "silhouette_values",
+    "stepwise_eliminate",
+    "variance_inflation_factors",
+]

@@ -1,0 +1,93 @@
+"""Autocorrelation and summary features of time series.
+
+Supports the feature-based clustering alternative the paper cites
+(Fulcher & Jones [11]): instead of comparing raw series (DTW) or their
+correlations (CBC), series are embedded into a small feature vector —
+moments, autocorrelation structure, seasonality strength — and clustered in
+feature space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["autocorrelation", "feature_vector", "seasonal_strength"]
+
+
+def autocorrelation(series: Sequence[float], lag: int) -> float:
+    """Sample autocorrelation at a given lag (0 for degenerate inputs)."""
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {arr.shape}")
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if lag == 0:
+        return 1.0
+    if arr.size <= lag + 1:
+        return 0.0
+    centered = arr - arr.mean()
+    denom = float((centered * centered).sum())
+    if denom <= 1e-12:
+        return 0.0
+    num = float((centered[:-lag] * centered[lag:]).sum())
+    return float(np.clip(num / denom, -1.0, 1.0))
+
+
+def seasonal_strength(series: Sequence[float], period: int) -> float:
+    """Share of variance explained by the per-slot seasonal means, in [0, 1]."""
+    arr = np.asarray(series, dtype=float)
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    if arr.size < 2 * period:
+        return 0.0
+    total_var = arr.var()
+    if total_var <= 1e-12:
+        return 0.0
+    n_full = (arr.size // period) * period
+    folded = arr[:n_full].reshape(-1, period)
+    slot_means = folded.mean(axis=0)
+    seasonal_var = slot_means.var()
+    return float(np.clip(seasonal_var / total_var, 0.0, 1.0))
+
+
+def feature_vector(series: Sequence[float], period: int = 96) -> np.ndarray:
+    """Embed a series into a compact, scale-aware feature vector.
+
+    Features (in order):
+
+    0. mean level,
+    1. standard deviation,
+    2. coefficient of variation (dispersion relative to level),
+    3. skewness (burstiness direction),
+    4. lag-1 autocorrelation (smoothness),
+    5. lag-``period/4`` autocorrelation (intra-day memory),
+    6. seasonal strength at ``period`` (diurnal repeatability),
+    7. peak-to-mean ratio (spikiness).
+
+    The first two features carry the scale; clustering normalizes columns.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1 or arr.size < 4:
+        raise ValueError("series must be 1-D with at least 4 samples")
+    mean = float(arr.mean())
+    std = float(arr.std())
+    cv = std / mean if abs(mean) > 1e-12 else 0.0
+    if std > 1e-12:
+        skew = float((((arr - mean) / std) ** 3).mean())
+    else:
+        skew = 0.0
+    peak_ratio = float(arr.max() / mean) if abs(mean) > 1e-12 else 0.0
+    return np.array(
+        [
+            mean,
+            std,
+            cv,
+            skew,
+            autocorrelation(arr, 1),
+            autocorrelation(arr, max(1, period // 4)),
+            seasonal_strength(arr, period) if arr.size >= 2 * period else 0.0,
+            peak_ratio,
+        ]
+    )

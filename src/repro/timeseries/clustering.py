@@ -1,0 +1,186 @@
+"""Agglomerative hierarchical clustering over precomputed dissimilarities.
+
+Section III-A applies hierarchical clustering to the pairwise DTW distance
+matrix, sweeping the number of clusters from 2 to ``(M*N)/2`` and selecting
+the cut with the best mean silhouette.  This module provides the clustering
+half: a from-scratch agglomerative algorithm with single, complete and
+average (UPGMA) linkage that operates on any precomputed symmetric distance
+matrix, and a dendrogram cut for an arbitrary number of clusters.
+
+The implementation follows the classical Lance-Williams style update on the
+full distance matrix, which is O(n^3) in the worst case — more than fast
+enough for the per-box problem sizes here (a few dozen series per box).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["Linkage", "Merge", "HierarchicalClustering"]
+
+
+class Linkage(enum.Enum):
+    """Supported linkage criteria for agglomerative clustering."""
+
+    SINGLE = "single"
+    COMPLETE = "complete"
+    AVERAGE = "average"
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters ``left`` and ``right`` merge at ``height``.
+
+    Cluster ids follow the scipy convention: ids ``0..n-1`` are the original
+    observations; the merge recorded at step ``k`` creates cluster ``n + k``.
+    """
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+@dataclass
+class HierarchicalClustering:
+    """Agglomerative clustering of ``n`` items from a distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` dissimilarity matrix with a zero diagonal.
+    linkage:
+        Linkage criterion; the paper's DTW clustering uses average linkage.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> d = np.array([[0., 1., 9.], [1., 0., 9.], [9., 9., 0.]])
+    >>> hc = HierarchicalClustering(d)
+    >>> hc.cut(2)
+    [0, 0, 1]
+    """
+
+    distances: np.ndarray
+    linkage: Linkage = Linkage.AVERAGE
+    merges: List[Merge] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.distances, dtype=float)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ValueError(f"distance matrix must be square, got {d.shape}")
+        if d.shape[0] < 1:
+            raise ValueError("need at least one item")
+        if not np.allclose(d, d.T, atol=1e-9):
+            raise ValueError("distance matrix must be symmetric")
+        if np.any(np.diag(d) != 0):
+            raise ValueError("distance matrix must have a zero diagonal")
+        if np.any(d < 0):
+            raise ValueError("distances must be non-negative")
+        self.distances = d
+        self.merges = self._build()
+
+    @property
+    def n_items(self) -> int:
+        return self.distances.shape[0]
+
+    def _build(self) -> List[Merge]:
+        n = self.n_items
+        if n == 1:
+            return []
+        # The matrix shrinks logically via the `alive` mask; merged rows keep
+        # their slot and carry the id of the cluster they now represent.
+        dist = self.distances.copy()
+        np.fill_diagonal(dist, np.inf)
+        cluster_id = list(range(n))
+        sizes = [1] * n
+        merges: List[Merge] = []
+        alive = np.ones(n, dtype=bool)
+        next_id = n
+        for _ in range(n - 1):
+            # Find the closest active pair.
+            sub = dist[np.ix_(alive, alive)]
+            flat = np.argmin(sub)
+            k = sub.shape[0]
+            ai, aj = divmod(int(flat), k)
+            idxs = np.flatnonzero(alive)
+            i, j = int(idxs[ai]), int(idxs[aj])
+            if i == j:  # pragma: no cover - argmin on inf diagonal prevents this
+                raise RuntimeError("degenerate merge")
+            height = float(dist[i, j])
+            merges.append(
+                Merge(
+                    left=cluster_id[i],
+                    right=cluster_id[j],
+                    height=height,
+                    size=sizes[i] + sizes[j],
+                )
+            )
+            # Merge j into i using the Lance-Williams update.
+            others = np.flatnonzero(alive)
+            others = others[(others != i) & (others != j)]
+            if others.size:
+                di = dist[i, others]
+                dj = dist[j, others]
+                if self.linkage is Linkage.SINGLE:
+                    new = np.minimum(di, dj)
+                elif self.linkage is Linkage.COMPLETE:
+                    new = np.maximum(di, dj)
+                else:  # AVERAGE (UPGMA)
+                    wi, wj = sizes[i], sizes[j]
+                    new = (wi * di + wj * dj) / (wi + wj)
+                dist[i, others] = new
+                dist[others, i] = new
+            alive[j] = False
+            sizes[i] += sizes[j]
+            cluster_id[i] = next_id
+            next_id += 1
+        return merges
+
+    def cut(self, n_clusters: int) -> List[int]:
+        """Return flat cluster labels for a cut producing ``n_clusters`` groups.
+
+        Labels are renumbered ``0..n_clusters-1`` in order of first appearance.
+        """
+        n = self.n_items
+        if not 1 <= n_clusters <= n:
+            raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+        # Apply the first (n - n_clusters) merges with a union-find.
+        parent = list(range(n + len(self.merges)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for step, merge in enumerate(self.merges[: n - n_clusters]):
+            new_cluster = n + step
+            parent[find(merge.left)] = new_cluster
+            parent[find(merge.right)] = new_cluster
+
+        roots = [find(i) for i in range(n)]
+        relabel: dict = {}
+        labels = []
+        for root in roots:
+            if root not in relabel:
+                relabel[root] = len(relabel)
+            labels.append(relabel[root])
+        return labels
+
+    def merge_heights(self) -> List[float]:
+        """Return the sequence of merge heights (non-decreasing for average linkage)."""
+        return [m.height for m in self.merges]
+
+
+def clusters_as_lists(labels: List[int]) -> List[List[int]]:
+    """Group item indices by cluster label, ordered by label."""
+    n_clusters = max(labels) + 1 if labels else 0
+    groups: List[List[int]] = [[] for _ in range(n_clusters)]
+    for idx, label in enumerate(labels):
+        groups[label].append(idx)
+    return groups

@@ -1,0 +1,262 @@
+"""Dynamic time warping (DTW) distances.
+
+Section III-A of the paper clusters usage series with DTW: the dissimilarity
+between two series is the cumulative squared distance along the optimal
+warping path through the pairwise distance matrix (paper Eq. 2):
+
+    lambda(i, j) = d(p_i, q_j)
+                   + min(lambda(i-1, j-1), lambda(i-1, j), lambda(i, j-1))
+
+with ``d(p_i, q_j) = (p_i - q_j)^2``.
+
+The dynamic program is evaluated along anti-diagonals so each wavefront is a
+single vectorized NumPy step — the classic dependency on ``lambda(i, j-1)``
+within a row disappears because all three predecessors of an anti-diagonal
+cell live on the two previous anti-diagonals.  This keeps fleet-scale
+clustering (hundreds of boxes x hundreds of pairwise DTWs) tractable in
+pure Python.
+
+An optional Sakoe-Chiba band constraint bounds warping, and
+:func:`dtw_distance_matrix` computes the pairwise matrix the clustering step
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["dtw_distance", "dtw_matrix", "dtw_path", "dtw_distance_matrix"]
+
+_INF = np.inf
+
+
+def _as_1d(series: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def dtw_matrix(
+    p: Sequence[float],
+    q: Sequence[float],
+    window: Optional[int] = None,
+) -> np.ndarray:
+    """Return the full cumulative-cost matrix ``lambda`` for two series.
+
+    Parameters
+    ----------
+    p, q:
+        The two input series.
+    window:
+        Optional Sakoe-Chiba band half-width. When given, cells with
+        ``|i - j| > window`` are excluded from the warping path (the band is
+        widened automatically so a path exists for unequal lengths).
+        ``None`` means unconstrained.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(n, m)`` matrix whose ``[i, j]`` entry is the minimal cumulative
+        squared distance of aligning ``p[:i+1]`` with ``q[:j+1]``; cells
+        outside the band hold ``inf``.
+    """
+    pa = _as_1d(p, "p")
+    qa = _as_1d(q, "q")
+    n, m = pa.size, qa.size
+    if window is not None:
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        window = max(window, abs(n - m))
+
+    local = (pa[:, None] - qa[None, :]) ** 2
+    if window is not None:
+        i_idx = np.arange(n)[:, None]
+        j_idx = np.arange(m)[None, :]
+        local = np.where(np.abs(i_idx - j_idx) <= window, local, _INF)
+
+    cost = np.full((n, m), _INF, dtype=float)
+    # prev / prev2 hold the two previous anti-diagonals, indexed by row i.
+    prev = np.full(n, _INF)
+    prev2 = np.full(n, _INF)
+    for k in range(n + m - 1):
+        lo = max(0, k - m + 1)
+        hi = min(n - 1, k)
+        rows = np.arange(lo, hi + 1)
+        cols = k - rows
+        d = local[rows, cols]
+        cur = np.full(n, _INF)
+        if k == 0:
+            cur[0] = d[0]
+        else:
+            # Predecessors: (i, j-1) -> prev[i]; (i-1, j) -> prev[i-1];
+            # (i-1, j-1) -> prev2[i-1].  Invalid neighbours are inf.
+            from_left = prev[rows]
+            from_up = np.where(rows >= 1, prev[rows - 1], _INF)
+            from_diag = np.where(rows >= 1, prev2[rows - 1], _INF)
+            best = np.minimum(np.minimum(from_left, from_up), from_diag)
+            # The (0, 0) origin has no predecessor; it was seeded at k == 0.
+            values = d + best
+            if lo == 0 and k == 0:  # pragma: no cover - handled above
+                values[0] = d[0]
+            cur[rows] = values
+        cost[rows, cols] = cur[rows]
+        prev2, prev = prev, cur
+    return cost
+
+
+def dtw_distance(
+    p: Sequence[float],
+    q: Sequence[float],
+    window: Optional[int] = None,
+    normalize: bool = False,
+) -> float:
+    """Return the DTW dissimilarity ``lambda(n, m)`` between two series.
+
+    Parameters
+    ----------
+    p, q:
+        Input series.
+    window:
+        Optional Sakoe-Chiba band half-width (see :func:`dtw_matrix`).
+    normalize:
+        When true, divide the cumulative cost by ``n + m`` so distances of
+        series with different lengths are comparable.
+    """
+    cost = dtw_matrix(p, q, window=window)
+    value = float(cost[-1, -1])
+    if normalize:
+        value /= cost.shape[0] + cost.shape[1]
+    return value
+
+
+def dtw_path(
+    p: Sequence[float],
+    q: Sequence[float],
+    window: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Return the optimal warping path as a list of ``(i, j)`` index pairs.
+
+    The path starts at ``(0, 0)``, ends at ``(n-1, m-1)`` and is monotone in
+    both coordinates (each step moves by ``(1, 1)``, ``(1, 0)`` or ``(0, 1)``).
+    """
+    cost = dtw_matrix(p, q, window=window)
+    i, j = cost.shape[0] - 1, cost.shape[1] - 1
+    path = [(i, j)]
+    while i > 0 or j > 0:
+        if i == 0:
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            candidates = (
+                (cost[i - 1, j - 1], i - 1, j - 1),
+                (cost[i - 1, j], i - 1, j),
+                (cost[i, j - 1], i, j - 1),
+            )
+            _, i, j = min(candidates, key=lambda c: c[0])
+        path.append((i, j))
+    path.reverse()
+    return path
+
+
+def _dtw_batch(p: np.ndarray, q: np.ndarray, window: Optional[int]) -> np.ndarray:
+    """DTW distances for aligned batches of equal-length series.
+
+    ``p`` and ``q`` are ``(n_pairs, n)`` arrays; pair ``k`` is
+    ``(p[k], q[k])``.  The anti-diagonal dynamic program runs once with the
+    pair axis leading, so the whole batch costs one DP's worth of Python
+    overhead.  Returns the ``(n_pairs,)`` distances.
+    """
+    n_pairs, n = p.shape
+    half = window if window is not None else n  # band half-width
+    # Padded wavefront buffers, indexed by row i + 1; column 0 is a sentinel.
+    prev = np.full((n_pairs, n + 2), _INF)
+    prev2 = np.full((n_pairs, n + 2), _INF)
+    cur = np.full((n_pairs, n + 2), _INF)
+    for k in range(2 * n - 1):
+        # Active rows on anti-diagonal k: inside the matrix and the band
+        # (|2i - k| <= half).
+        lo = max(0, k - n + 1, (k - half + 1) // 2)
+        hi = min(n - 1, k, (k + half) // 2)
+        if lo > hi:
+            break  # pragma: no cover - band always reaches the corner
+        rows = np.arange(lo, hi + 1)
+        d = (p[:, rows] - q[:, k - rows]) ** 2
+        sl = slice(lo + 1, hi + 2)
+        sl_prev = slice(lo, hi + 1)
+        if k == 0:
+            cur[:, 1] = d[:, 0]
+        else:
+            best = np.minimum(prev[:, sl], prev[:, sl_prev])
+            np.minimum(best, prev2[:, sl_prev], out=best)
+            cur[:, sl] = d + best
+        # Sentinels just outside the active slice keep stale buffer cells
+        # from leaking into later diagonals.
+        cur[:, lo] = _INF
+        if hi + 2 <= n + 1:
+            cur[:, hi + 2] = _INF
+        prev2, prev, cur = prev, cur, prev2
+    return prev[:, n].copy()
+
+
+def dtw_distance_matrix(
+    series: Sequence[Sequence[float]],
+    window: Optional[int] = None,
+    normalize: bool = False,
+    zscore: bool = False,
+) -> np.ndarray:
+    """Return the symmetric pairwise DTW distance matrix for many series.
+
+    Equal-length inputs (the usual case: all series of one box) go through a
+    batched anti-diagonal dynamic program that evaluates every pair
+    simultaneously; mixed lengths fall back to per-pair computation.
+
+    Parameters
+    ----------
+    series:
+        A sequence of one-dimensional series (they may have unequal lengths).
+    window:
+        Optional Sakoe-Chiba band half-width applied to every pair.
+    normalize:
+        Normalize each pairwise distance by the sum of series lengths.
+    zscore:
+        Standardize each series (zero mean, unit variance) before comparing.
+        Constant series are mapped to all-zeros.  This makes the clustering
+        scale-free, which matters because co-located VMs have heterogeneous
+        capacities.
+    """
+    arrays = [_as_1d(s, f"series[{k}]") for k, s in enumerate(series)]
+    if zscore:
+        standardized = []
+        for arr in arrays:
+            std = arr.std()
+            if std <= 1e-12:
+                standardized.append(np.zeros_like(arr))
+            else:
+                standardized.append((arr - arr.mean()) / std)
+        arrays = standardized
+    n = len(arrays)
+    dist = np.zeros((n, n), dtype=float)
+    lengths = {arr.size for arr in arrays}
+    if len(lengths) == 1 and n > 1:
+        stack = np.vstack(arrays)
+        a_idx, b_idx = np.triu_indices(n, k=1)
+        values = _dtw_batch(stack[a_idx], stack[b_idx], window)
+        if normalize:
+            values = values / (2 * stack.shape[1])
+        dist[a_idx, b_idx] = values
+        dist[b_idx, a_idx] = values
+        return dist
+    for a in range(n):
+        for b in range(a + 1, n):
+            d = dtw_distance(arrays[a], arrays[b], window=window, normalize=normalize)
+            dist[a, b] = d
+            dist[b, a] = d
+    return dist

@@ -1,0 +1,107 @@
+"""Prediction accuracy metrics used by the paper's evaluation.
+
+The paper's headline metric is the absolute percentage error
+
+    APE = |actual - fitted| / actual
+
+averaged over all ticketing windows (Figs. 6, 7, 9) and, separately, over
+*peak* windows only — those whose actual usage exceeds the ticket threshold
+(Fig. 9's "Peak" CDFs).  Windows with zero (or near-zero) actual value are
+excluded from APE, the standard convention that keeps the metric finite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "absolute_percentage_errors",
+    "mean_absolute_percentage_error",
+    "peak_absolute_percentage_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "symmetric_mape",
+]
+
+_EPS = 1e-9
+
+
+def _pair(actual: Sequence[float], predicted: Sequence[float]):
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape or a.ndim != 1:
+        raise ValueError(
+            f"actual and predicted must be equal-length 1-D arrays, got {a.shape} and {p.shape}"
+        )
+    if a.size == 0:
+        raise ValueError("series must be non-empty")
+    return a, p
+
+
+def absolute_percentage_errors(
+    actual: Sequence[float], predicted: Sequence[float]
+) -> np.ndarray:
+    """Return the per-sample APE, with near-zero actual samples dropped."""
+    a, p = _pair(actual, predicted)
+    mask = np.abs(a) > _EPS
+    if not mask.any():
+        return np.array([])
+    return np.abs(a[mask] - p[mask]) / np.abs(a[mask])
+
+
+def mean_absolute_percentage_error(
+    actual: Sequence[float], predicted: Sequence[float], as_percent: bool = True
+) -> float:
+    """Return mean APE; ``nan`` when every actual sample is ~zero."""
+    errors = absolute_percentage_errors(actual, predicted)
+    if errors.size == 0:
+        return float("nan")
+    value = float(errors.mean())
+    return value * 100.0 if as_percent else value
+
+
+def peak_absolute_percentage_error(
+    actual: Sequence[float],
+    predicted: Sequence[float],
+    peak_threshold: float,
+    as_percent: bool = True,
+) -> float:
+    """Return mean APE restricted to windows where ``actual > peak_threshold``.
+
+    Fig. 9 reports this with the 60% usage threshold: accuracy on exactly the
+    windows that matter for ticketing.  Returns ``nan`` when the series never
+    peaks.
+    """
+    a, p = _pair(actual, predicted)
+    mask = a > peak_threshold
+    if not mask.any():
+        return float("nan")
+    return mean_absolute_percentage_error(a[mask], p[mask], as_percent=as_percent)
+
+
+def root_mean_squared_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Return the RMSE between two series."""
+    a, p = _pair(actual, predicted)
+    diff = a - p
+    return float(np.sqrt((diff * diff).mean()))
+
+
+def mean_absolute_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Return the MAE between two series."""
+    a, p = _pair(actual, predicted)
+    return float(np.abs(a - p).mean())
+
+
+def symmetric_mape(
+    actual: Sequence[float], predicted: Sequence[float], as_percent: bool = True
+) -> float:
+    """Return the symmetric MAPE (robust companion metric, not in the paper)."""
+    a, p = _pair(actual, predicted)
+    denom = (np.abs(a) + np.abs(p)) / 2.0
+    mask = denom > _EPS
+    if not mask.any():
+        return float("nan")
+    value = float((np.abs(a[mask] - p[mask]) / denom[mask]).mean())
+    return value * 100.0 if as_percent else value

@@ -1,0 +1,181 @@
+"""Ordinary least squares, variance inflation factors, stepwise elimination.
+
+Section III uses three regression ingredients:
+
+* **OLS** fits express each dependent series as a linear combination of the
+  signature series (paper Eq. 1).
+* **VIF** (variance inflation factor) flags multicollinearity inside the
+  initial signature set: a series whose VIF exceeds 4 is well explained by
+  the other signatures.
+* **Stepwise regression** then removes such redundant signatures one at a
+  time until every remaining signature has VIF <= 4.
+
+All of it is implemented on NumPy's least-squares solver; no statistics
+package is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OlsFit",
+    "fit_ols",
+    "r_squared",
+    "variance_inflation_factors",
+    "stepwise_eliminate",
+]
+
+
+@dataclass(frozen=True)
+class OlsFit:
+    """Result of an ordinary least squares fit ``y ~ intercept + X @ coef``."""
+
+    intercept: float
+    coefficients: np.ndarray
+    r2: float
+    residual_std: float
+
+    def predict(self, regressors: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted model on a ``(n_samples, n_features)`` matrix."""
+        x = np.asarray(regressors, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[1] != self.coefficients.size:
+            raise ValueError(
+                f"model has {self.coefficients.size} features, got {x.shape[1]}"
+            )
+        return self.intercept + x @ self.coefficients
+
+
+def _design(regressors: np.ndarray) -> np.ndarray:
+    x = np.asarray(regressors, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.ndim != 2:
+        raise ValueError(f"regressors must be 1-D or 2-D, got shape {x.shape}")
+    return x
+
+
+def fit_ols(target: Sequence[float], regressors: np.ndarray) -> OlsFit:
+    """Fit ``target ~ intercept + regressors`` by least squares.
+
+    Parameters
+    ----------
+    target:
+        The dependent series, length ``n_samples``.
+    regressors:
+        ``(n_samples, n_features)`` matrix (or 1-D for a single regressor).
+
+    Notes
+    -----
+    Uses :func:`numpy.linalg.lstsq`, which returns the minimum-norm solution
+    when the design matrix is rank deficient — fits never fail outright,
+    mirroring how a production pipeline must behave on degenerate boxes
+    (e.g. constant usage series).
+    """
+    y = np.asarray(target, dtype=float)
+    x = _design(regressors)
+    if y.ndim != 1 or y.size != x.shape[0]:
+        raise ValueError(
+            f"target must be 1-D with length {x.shape[0]}, got shape {y.shape}"
+        )
+    design = np.column_stack([np.ones(x.shape[0]), x])
+    solution, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    fitted = design @ solution
+    residuals = y - fitted
+    ss_res = float((residuals * residuals).sum())
+    centered = y - y.mean()
+    ss_tot = float((centered * centered).sum())
+    r2 = 1.0 if ss_tot <= 1e-12 else 1.0 - ss_res / ss_tot
+    dof = max(1, y.size - design.shape[1])
+    return OlsFit(
+        intercept=float(solution[0]),
+        coefficients=solution[1:].copy(),
+        r2=float(np.clip(r2, -np.inf, 1.0)),
+        residual_std=float(np.sqrt(ss_res / dof)),
+    )
+
+
+def r_squared(target: Sequence[float], regressors: np.ndarray) -> float:
+    """Return the coefficient of determination of an OLS fit."""
+    return fit_ols(target, regressors).r2
+
+
+def variance_inflation_factors(series_matrix: np.ndarray) -> np.ndarray:
+    """Return the VIF of every column of a ``(n_samples, n_series)`` matrix.
+
+    ``VIF_k = 1 / (1 - R_k^2)`` where ``R_k^2`` comes from regressing column
+    ``k`` on all the other columns.  A column perfectly explained by the
+    others gets ``numpy.inf``; with fewer than two columns every VIF is 1.
+    """
+    x = _design(series_matrix)
+    n_series = x.shape[1]
+    if n_series < 2:
+        return np.ones(n_series)
+    vifs = np.empty(n_series)
+    for k in range(n_series):
+        others = np.delete(x, k, axis=1)
+        r2 = np.clip(fit_ols(x[:, k], others).r2, 0.0, 1.0)
+        vifs[k] = np.inf if r2 >= 1.0 - 1e-12 else 1.0 / (1.0 - r2)
+    return vifs
+
+
+def stepwise_eliminate(
+    series_matrix: np.ndarray,
+    vif_threshold: float = 4.0,
+    min_keep: int = 1,
+) -> Tuple[List[int], List[int]]:
+    """Iteratively drop the most collinear column until all VIFs pass.
+
+    This is the paper's "step 2": after clustering produces an initial
+    signature set, any member with ``VIF > 4`` is a linear combination of the
+    others and can be demoted to a dependent series.
+
+    Parameters
+    ----------
+    series_matrix:
+        ``(n_samples, n_series)`` matrix of candidate signature series.
+    vif_threshold:
+        Keep removing while some column's VIF exceeds this (paper uses 4).
+    min_keep:
+        Never shrink the kept set below this size.
+
+    Returns
+    -------
+    (kept, removed):
+        Column indices that remain signatures, and those demoted, both in
+        terms of the input matrix's column order.  ``removed`` is ordered by
+        elimination step (most collinear first).
+    """
+    x = _design(series_matrix)
+    if vif_threshold <= 1.0:
+        raise ValueError("vif_threshold must exceed 1.0")
+    kept = list(range(x.shape[1]))
+    removed: List[int] = []
+    while len(kept) > max(min_keep, 1):
+        vifs = variance_inflation_factors(x[:, kept])
+        worst_pos = int(np.argmax(vifs))
+        if not (vifs[worst_pos] > vif_threshold):
+            break
+        removed.append(kept.pop(worst_pos))
+    return kept, removed
+
+
+def fit_dependent_models(
+    signature_matrix: np.ndarray,
+    dependent_matrix: np.ndarray,
+) -> List[OlsFit]:
+    """Fit one OLS model per dependent series against the signature matrix.
+
+    Convenience wrapper used by the spatial prediction models: columns of
+    ``dependent_matrix`` are regressed on the columns of ``signature_matrix``.
+    """
+    sig = _design(signature_matrix)
+    dep = _design(dependent_matrix)
+    if sig.shape[0] != dep.shape[0]:
+        raise ValueError("signature and dependent matrices need equal sample counts")
+    return [fit_ols(dep[:, k], sig) for k in range(dep.shape[1])]

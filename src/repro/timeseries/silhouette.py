@@ -1,0 +1,84 @@
+"""Silhouette scores for choosing the number of clusters (paper Eq. 3).
+
+For series ``i`` the silhouette value is
+
+    s(i) = (b(i) - a(i)) / max(a(i), b(i))
+
+where ``a(i)`` is the mean dissimilarity of ``i`` to the other members of its
+own cluster and ``b(i)`` is the lowest mean dissimilarity of ``i`` to the
+members of any other cluster.  The paper averages ``s(i)`` over all series and
+picks the cluster count with the maximal average.
+
+Singleton clusters get ``s(i) = 0`` following Rousseeuw's convention (the
+value is undefined; zero is neutral).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["silhouette_values", "mean_silhouette", "best_cluster_count"]
+
+
+def silhouette_values(distances: np.ndarray, labels: Sequence[int]) -> np.ndarray:
+    """Return the per-item silhouette values for a flat clustering.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` dissimilarity matrix.
+    labels:
+        Cluster label for each of the ``n`` items.
+    """
+    d = np.asarray(distances, dtype=float)
+    lab = np.asarray(labels, dtype=int)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {d.shape}")
+    if lab.shape != (d.shape[0],):
+        raise ValueError("labels must have one entry per item")
+    n = d.shape[0]
+    unique = np.unique(lab)
+    if unique.size < 2:
+        # A single cluster has no "nearest other cluster"; silhouettes are 0.
+        return np.zeros(n)
+
+    values = np.zeros(n)
+    members = {c: np.flatnonzero(lab == c) for c in unique}
+    for i in range(n):
+        own = members[lab[i]]
+        if own.size <= 1:
+            values[i] = 0.0
+            continue
+        a = d[i, own[own != i]].mean()
+        b = min(d[i, members[c]].mean() for c in unique if c != lab[i])
+        denom = max(a, b)
+        values[i] = 0.0 if denom <= 0 else (b - a) / denom
+    return values
+
+
+def mean_silhouette(distances: np.ndarray, labels: Sequence[int]) -> float:
+    """Return the average silhouette value over all items."""
+    return float(silhouette_values(distances, labels).mean())
+
+
+def best_cluster_count(
+    distances: np.ndarray,
+    labelings: Sequence[Sequence[int]],
+    counts: Sequence[int],
+) -> int:
+    """Return the cluster count whose labeling maximizes mean silhouette.
+
+    ``labelings[k]`` must be the flat labels obtained for ``counts[k]``
+    clusters.  Ties are resolved toward *fewer* clusters, matching the
+    paper's goal of a minimal signature set.
+    """
+    if len(labelings) != len(counts) or not counts:
+        raise ValueError("labelings and counts must be equal-length and non-empty")
+    scored = [
+        (mean_silhouette(distances, labels), -count, count)
+        for labels, count in zip(labelings, counts)
+    ]
+    _, __, best = max(scored)
+    return best

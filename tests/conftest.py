@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import FleetConfig, generate_box, generate_fleet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """A small one-day fleet shared by read-only tests."""
+    return generate_fleet(FleetConfig(n_boxes=12, days=1, seed=99), name="test-small")
+
+
+@pytest.fixture(scope="session")
+def pipeline_fleet_6d():
+    """A tiny six-day fleet for pipeline tests (5 train days + 1 eval day)."""
+    return generate_fleet(FleetConfig(n_boxes=4, days=6, seed=7), name="test-pipeline")
+
+
+@pytest.fixture(scope="session")
+def sample_box():
+    """One six-day box with a fixed seed."""
+    return generate_box(3, FleetConfig(days=6, seed=5))

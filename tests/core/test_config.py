@@ -1,0 +1,45 @@
+"""Tests for ATM configuration (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import AtmConfig
+from repro.prediction.spatial.signatures import ClusteringMethod
+from repro.resizing.evaluate import ResizingAlgorithm
+
+
+class TestAtmConfig:
+    def test_defaults_match_paper(self):
+        config = AtmConfig()
+        assert config.training_windows == 480  # 5 days
+        assert config.horizon_windows == 96    # 1 day
+        assert config.policy.threshold_pct == 60.0
+        assert config.epsilon_pct == 5.0
+        assert config.prediction.temporal_model == "neural"
+
+    def test_with_clustering(self):
+        config = AtmConfig.with_clustering(ClusteringMethod.DTW)
+        assert config.prediction.search.method is ClusteringMethod.DTW
+
+    def test_with_clustering_forwards_kwargs(self):
+        config = AtmConfig.with_clustering(
+            ClusteringMethod.CBC, temporal_model="seasonal_mean", epsilon_pct=2.0
+        )
+        assert config.prediction.temporal_model == "seasonal_mean"
+        assert config.epsilon_pct == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AtmConfig(training_windows=1)
+        with pytest.raises(ValueError):
+            AtmConfig(horizon_windows=0)
+        with pytest.raises(ValueError):
+            AtmConfig(epsilon_pct=-1.0)
+        with pytest.raises(ValueError):
+            AtmConfig(algorithms=())
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AtmConfig().epsilon_pct = 1.0
+
+    def test_all_algorithms_by_default(self):
+        assert set(AtmConfig().algorithms) == set(ResizingAlgorithm)

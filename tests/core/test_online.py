@@ -1,0 +1,97 @@
+"""Tests for the online rolling controller (repro.core.online)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AtmConfig
+from repro.core.online import OnlineAtmController, run_online_fleet
+from repro.prediction.spatial.signatures import ClusteringMethod
+from repro.trace.generator import FleetConfig, generate_box, generate_fleet
+from repro.trace.model import Resource
+
+
+@pytest.fixture(scope="module")
+def config():
+    return AtmConfig.with_clustering(ClusteringMethod.CBC, temporal_model="seasonal_mean")
+
+
+@pytest.fixture(scope="module")
+def week_box():
+    return generate_box(2, FleetConfig(days=7, seed=41))
+
+
+class TestController:
+    def test_step_count(self, week_box, config):
+        controller = OnlineAtmController(week_box, config)
+        assert controller.n_steps == 2  # 7 days - 5 training = 2 horizons
+
+    def test_run_produces_all_steps(self, week_box, config):
+        result = OnlineAtmController(week_box, config).run()
+        assert len(result.steps) == 2 * 2  # steps x resources
+        days = {s.day_index for s in result.steps}
+        assert days == {0, 1}
+
+    def test_allocations_respect_budget(self, week_box, config):
+        result = OnlineAtmController(week_box, config).run()
+        for step in result.steps:
+            capacity = week_box.capacity(step.resource)
+            assert step.allocation.sum() <= capacity + 1e-6
+
+    def test_ape_finite(self, week_box, config):
+        result = OnlineAtmController(week_box, config).run()
+        assert np.isfinite(result.mean_ape())
+
+    def test_reduction_accounting(self, week_box, config):
+        result = OnlineAtmController(week_box, config).run()
+        before = result.total_tickets(static=True)
+        after = result.total_tickets()
+        assert before == sum(s.tickets_static for s in result.steps)
+        assert after == sum(s.tickets_atm for s in result.steps)
+        if before > 0:
+            assert np.isfinite(result.reduction_percent())
+
+    def test_atm_helps_on_ticketed_boxes(self, config):
+        """Aggregated over several boxes, the rolling controller wins."""
+        total_before = total_after = 0
+        for b in range(5):
+            box = generate_box(b, FleetConfig(days=7, seed=55))
+            result = OnlineAtmController(box, config).run()
+            total_before += result.total_tickets(static=True)
+            total_after += result.total_tickets()
+        assert total_before > 0
+        assert total_after < total_before
+
+    def test_refit_cadence(self, week_box, config):
+        eager = OnlineAtmController(week_box, config, refit_every_steps=1)
+        lazy = OnlineAtmController(week_box, config, refit_every_steps=10)
+        eager_result = eager.run()
+        lazy_result = lazy.run()
+        # Both run to completion; the lazy one reuses its first fit.
+        assert len(eager_result.steps) == len(lazy_result.steps)
+
+    def test_too_short_box_rejected(self, config):
+        box = generate_box(0, FleetConfig(days=5, seed=1))
+        with pytest.raises(ValueError, match="too short"):
+            OnlineAtmController(box, config).run()
+
+    def test_bad_refit_cadence(self, week_box, config):
+        with pytest.raises(ValueError):
+            OnlineAtmController(week_box, config, refit_every_steps=0)
+
+    def test_steps_for_resource(self, week_box, config):
+        result = OnlineAtmController(week_box, config).run()
+        cpu_steps = result.steps_for(Resource.CPU)
+        assert len(cpu_steps) == 2
+        assert all(s.resource is Resource.CPU for s in cpu_steps)
+
+
+class TestFleetRunner:
+    def test_runs_eligible_boxes(self, config):
+        fleet = generate_fleet(FleetConfig(n_boxes=3, days=7, seed=62))
+        results = run_online_fleet(fleet, config)
+        assert len(results) == 3
+
+    def test_no_eligible_boxes_rejected(self, config):
+        fleet = generate_fleet(FleetConfig(n_boxes=2, days=1, seed=3))
+        with pytest.raises(ValueError):
+            run_online_fleet(fleet, config)

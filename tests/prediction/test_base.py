@@ -1,0 +1,56 @@
+"""Tests for the predictor base module (repro.prediction.base)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.base import (
+    TemporalPredictor,
+    fit_predict,
+    validate_history,
+    validate_horizon,
+)
+from repro.prediction.temporal.naive import LastValuePredictor
+
+
+class TestValidators:
+    def test_history_coerced(self):
+        arr = validate_history([1, 2, 3])
+        assert arr.dtype == float
+        assert arr.shape == (3,)
+
+    def test_history_minimum(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            validate_history([1.0, 2.0], minimum=5)
+
+    def test_history_shape(self):
+        with pytest.raises(ValueError):
+            validate_history(np.ones((2, 2)))
+
+    def test_history_finite(self):
+        with pytest.raises(ValueError):
+            validate_history([1.0, np.inf])
+
+    def test_horizon(self):
+        assert validate_horizon(5) == 5
+        with pytest.raises(ValueError):
+            validate_horizon(0)
+
+
+class TestBaseBehaviour:
+    def test_fit_returns_self_for_chaining(self):
+        model = LastValuePredictor()
+        assert model.fit([1.0]) is model
+
+    def test_is_fitted_flag(self):
+        model = LastValuePredictor()
+        assert not model.is_fitted
+        model.fit([1.0])
+        assert model.is_fitted
+
+    def test_fit_predict_helper(self):
+        forecast = fit_predict(LastValuePredictor(), [3.0, 9.0], 2)
+        assert forecast.tolist() == [9.0, 9.0]
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            TemporalPredictor()

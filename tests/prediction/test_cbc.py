@@ -1,0 +1,75 @@
+"""Tests for correlation-based clustering (repro.prediction.spatial.cbc)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.spatial.cbc import CbcResult, correlation_based_clusters
+
+
+def correlated_group(rng, base, n, noise=0.05):
+    return [base + noise * rng.normal(size=base.size) for _ in range(n)]
+
+
+class TestCbc:
+    def test_groups_correlated_series(self, rng):
+        t = 200
+        base_a = rng.normal(size=t)
+        base_b = rng.normal(size=t)
+        series = correlated_group(rng, base_a, 3) + correlated_group(rng, base_b, 2)
+        result = correlation_based_clusters(series)
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_uncorrelated_series_are_singletons(self, rng):
+        series = [rng.normal(size=300) for _ in range(4)]
+        result = correlation_based_clusters(series)
+        assert result.n_clusters == 4
+
+    def test_signature_is_best_connected(self, rng):
+        t = 300
+        hub = rng.normal(size=t)
+        # Two spokes correlate with the hub but less with each other.
+        spoke1 = 0.75 * hub + 0.66 * rng.normal(size=t)
+        spoke2 = 0.75 * hub + 0.66 * rng.normal(size=t)
+        result = correlation_based_clusters([spoke1, hub, spoke2], rho_threshold=0.6)
+        assert 1 in result.signatures  # the hub leads its cluster
+
+    def test_every_series_labeled(self, rng):
+        series = rng.normal(size=(7, 100))
+        result = correlation_based_clusters(series)
+        assert all(label >= 0 for label in result.labels)
+        assert set(result.labels) == set(range(result.n_clusters))
+
+    def test_signatures_aligned_with_labels(self, rng):
+        series = rng.normal(size=(6, 150))
+        result = correlation_based_clusters(series)
+        for cluster, signature in enumerate(result.signatures):
+            assert result.labels[signature] == cluster
+
+    def test_threshold_controls_aggressiveness(self, rng):
+        t = 250
+        base = rng.normal(size=t)
+        series = [base + 0.6 * rng.normal(size=t) for _ in range(6)]
+        loose = correlation_based_clusters(series, rho_threshold=0.4)
+        strict = correlation_based_clusters(series, rho_threshold=0.95)
+        assert loose.n_clusters <= strict.n_clusters
+
+    def test_single_series(self, rng):
+        result = correlation_based_clusters([rng.normal(size=50)])
+        assert result == CbcResult(labels=(0,), signatures=(0,))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            correlation_based_clusters(np.zeros((0, 5)))
+        with pytest.raises(ValueError):
+            correlation_based_clusters(rng.normal(size=(2, 10)), rho_threshold=0.0)
+        with pytest.raises(ValueError):
+            correlation_based_clusters(rng.normal(size=10))
+
+    def test_deterministic(self, rng):
+        series = rng.normal(size=(8, 120))
+        a = correlation_based_clusters(series)
+        b = correlation_based_clusters(series)
+        assert a == b

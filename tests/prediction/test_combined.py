@@ -1,0 +1,91 @@
+"""Tests for the combined predictor (repro.prediction.combined)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.combined import (
+    BoxPrediction,
+    SpatialTemporalConfig,
+    SpatialTemporalPredictor,
+)
+from repro.prediction.spatial.signatures import ClusteringMethod, SignatureSearchConfig
+from repro.timeseries.metrics import mean_absolute_percentage_error
+
+
+def periodic_matrix(rng, n_series=6, days=5, period=24):
+    t = np.arange(days * period)
+    base = 30 + 20 * np.sin(2 * np.pi * t / period)
+    rows = []
+    for k in range(n_series):
+        scale = rng.uniform(0.5, 2.0)
+        rows.append(scale * base + rng.normal(0, 1.0, size=t.size))
+    return np.vstack(rows)
+
+
+@pytest.fixture()
+def config():
+    return SpatialTemporalConfig(
+        search=SignatureSearchConfig(method=ClusteringMethod.CBC),
+        temporal_model="seasonal_mean",
+        period=24,
+    )
+
+
+class TestFitPredict:
+    def test_prediction_shape(self, rng, config):
+        data = periodic_matrix(rng)
+        prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
+        assert prediction.predictions.shape == (6, 24)
+        assert prediction.horizon == 24
+        assert prediction.n_series == 6
+
+    def test_accurate_on_periodic_data(self, rng, config):
+        data = periodic_matrix(rng, days=6)
+        train, actual = data[:, :120], data[:, 120:144]
+        prediction = SpatialTemporalPredictor(config).fit_predict(train, 24)
+        for i in range(6):
+            ape = mean_absolute_percentage_error(actual[i], prediction.predictions[i])
+            assert ape < 25.0
+
+    def test_signature_reduction_happens(self, rng, config):
+        data = periodic_matrix(rng)
+        prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
+        assert prediction.signature_ratio < 1.0
+
+    def test_clipping_at_zero(self, config, rng):
+        data = np.abs(periodic_matrix(rng)) * 0.01  # tiny demands
+        prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
+        assert prediction.predictions.min() >= 0.0
+
+    def test_clip_max(self, rng):
+        config = SpatialTemporalConfig(temporal_model="seasonal_mean", period=24, clip_max=10.0)
+        data = periodic_matrix(rng)
+        prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
+        assert prediction.predictions.max() <= 10.0
+
+    def test_unfitted_predict_raises(self, config):
+        with pytest.raises(RuntimeError):
+            SpatialTemporalPredictor(config).predict(5)
+
+    def test_bad_horizon(self, rng, config):
+        predictor = SpatialTemporalPredictor(config).fit(periodic_matrix(rng))
+        with pytest.raises(ValueError):
+            predictor.predict(0)
+
+    def test_bad_input_shape(self, config):
+        with pytest.raises(ValueError):
+            SpatialTemporalPredictor(config).fit(np.ones(10))
+
+    def test_spatial_model_accessor(self, rng, config):
+        predictor = SpatialTemporalPredictor(config)
+        with pytest.raises(RuntimeError):
+            _ = predictor.spatial_model
+        predictor.fit(periodic_matrix(rng))
+        assert predictor.spatial_model.n_series == 6
+
+    def test_neural_default_model(self, rng):
+        config = SpatialTemporalConfig(period=24)
+        data = periodic_matrix(rng)
+        prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
+        assert prediction.temporal_model == "neural"
+        assert np.isfinite(prediction.predictions).all()

@@ -1,0 +1,87 @@
+"""Tests for feature-based clustering (repro.prediction.spatial.features)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.spatial.features import FeatureClusterResult, feature_clusters
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    search_signature_set,
+)
+
+
+class TestFeatureClusters:
+    def test_separates_shape_families(self):
+        rng = np.random.default_rng(7)  # local: result must not depend on test order
+        period = 24
+        t = np.arange(5 * period)
+        diurnal = 30 + 25 * np.sin(2 * np.pi * t / period)
+        flat = np.full(t.size, 8.0)
+        series = [diurnal + rng.normal(0, 1, t.size) for _ in range(3)]
+        series += [flat + rng.normal(0, 0.5, t.size) for _ in range(3)]
+        result = feature_clusters(series, period=period)
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_signature_is_most_central(self, rng):
+        series = rng.normal(10, 2, size=(6, 100))
+        result = feature_clusters(series, period=24)
+        for cluster, signature in enumerate(result.signatures):
+            assert result.labels[signature] == cluster
+
+    def test_single_series(self, rng):
+        result = feature_clusters([rng.normal(size=50)], period=10)
+        assert result.labels == (0,)
+        assert result.n_clusters == 1
+
+    def test_features_standardized(self, rng):
+        series = rng.uniform(1, 100, size=(8, 200))
+        result = feature_clusters(series, period=24)
+        # Non-degenerate columns have ~zero mean after standardization.
+        assert np.abs(result.features.mean(axis=0)).max() < 1e-8
+
+    def test_max_clusters(self, rng):
+        series = rng.normal(size=(10, 60))
+        result = feature_clusters(series, period=10, max_clusters=2)
+        assert result.n_clusters == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            feature_clusters(np.zeros((0, 10)))
+        with pytest.raises(ValueError):
+            feature_clusters(rng.normal(size=20))
+
+
+class TestFeatureMethodInSearch:
+    def test_signature_search_with_features(self, rng):
+        t = 240
+        base = 20 + 10 * np.sin(2 * np.pi * np.arange(t) / 24)
+        data = np.vstack(
+            [base * rng.uniform(0.5, 2.0) + rng.normal(0, 0.5, t) for _ in range(6)]
+        )
+        model = search_signature_set(
+            data,
+            SignatureSearchConfig(method=ClusteringMethod.FEATURE, period=24),
+        )
+        assert 1 <= len(model.signature_indices) <= 6
+        recon = model.fitted(data)
+        assert recon.shape == data.shape
+
+    def test_feature_method_cheaper_than_dtw_on_long_series(self, rng):
+        import time
+
+        data = rng.normal(20, 5, size=(12, 480))
+        start = time.perf_counter()
+        search_signature_set(
+            data, SignatureSearchConfig(method=ClusteringMethod.FEATURE, period=96)
+        )
+        feature_time = time.perf_counter() - start
+        start = time.perf_counter()
+        search_signature_set(
+            data, SignatureSearchConfig(method=ClusteringMethod.DTW, dtw_window=12)
+        )
+        dtw_time = time.perf_counter() - start
+        assert feature_time < dtw_time

@@ -1,0 +1,83 @@
+"""Tests for naive/seasonal baselines (repro.prediction.temporal.naive)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.temporal.naive import (
+    LastValuePredictor,
+    MovingAveragePredictor,
+    SeasonalMeanPredictor,
+    SeasonalNaivePredictor,
+)
+
+
+class TestLastValue:
+    def test_repeats_last(self):
+        forecast = LastValuePredictor().fit([1.0, 2.0, 7.0]).predict(3)
+        assert forecast == pytest.approx([7.0, 7.0, 7.0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LastValuePredictor().predict(1)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor().fit([1.0]).predict(0)
+
+
+class TestMovingAverage:
+    def test_mean_of_tail(self):
+        forecast = MovingAveragePredictor(window=2).fit([0.0, 2.0, 4.0]).predict(2)
+        assert forecast == pytest.approx([3.0, 3.0])
+
+    def test_window_longer_than_history(self):
+        forecast = MovingAveragePredictor(window=10).fit([2.0, 4.0]).predict(1)
+        assert forecast == pytest.approx([3.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        history = [1.0, 2.0, 3.0, 10.0, 20.0, 30.0]
+        forecast = SeasonalNaivePredictor(period=3).fit(history).predict(5)
+        assert forecast == pytest.approx([10.0, 20.0, 30.0, 10.0, 20.0])
+
+    def test_perfect_on_exactly_periodic(self):
+        pattern = np.array([5.0, 1.0, 2.0, 8.0])
+        history = np.tile(pattern, 4)
+        forecast = SeasonalNaivePredictor(period=4).fit(history).predict(4)
+        assert forecast == pytest.approx(pattern)
+
+    def test_needs_full_period(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(period=5).fit([1.0, 2.0])
+
+
+class TestSeasonalMean:
+    def test_averages_slots(self):
+        history = [1.0, 10.0, 3.0, 20.0]  # slots: (1,3) and (10,20)
+        forecast = SeasonalMeanPredictor(period=2).fit(history).predict(2)
+        assert forecast == pytest.approx([2.0, 15.0])
+
+    def test_phase_alignment_with_partial_day(self):
+        # 2.5 periods: forecasts must continue from the correct phase.
+        history = [1.0, 10.0, 1.0, 10.0, 1.0]
+        forecast = SeasonalMeanPredictor(period=2).fit(history).predict(2)
+        assert forecast == pytest.approx([10.0, 1.0])
+
+    def test_robust_to_single_burst(self):
+        pattern = np.tile([5.0, 50.0], 10)
+        noisy = pattern.copy()
+        noisy[6] = 500.0  # one burst
+        forecast = SeasonalMeanPredictor(period=2).fit(noisy).predict(2)
+        naive = SeasonalNaivePredictor(period=2).fit(noisy).predict(2)
+        assert abs(forecast[0] - 5.0) < 50  # slot mean absorbs the burst
+        assert forecast[1] < 150.0
+
+    def test_horizon_beyond_period_tiles(self):
+        history = [1.0, 2.0]
+        forecast = SeasonalMeanPredictor(period=2).fit(history).predict(5)
+        assert forecast == pytest.approx([1.0, 2.0, 1.0, 2.0, 1.0])

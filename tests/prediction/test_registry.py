@@ -1,0 +1,53 @@
+"""Tests for the temporal-model registry (repro.prediction.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.base import TemporalPredictor, fit_predict
+from repro.prediction.registry import available_temporal_models, make_temporal_model
+
+
+class TestRegistry:
+    def test_expected_models_present(self):
+        names = available_temporal_models()
+        for expected in (
+            "ar",
+            "arima",
+            "holt_winters",
+            "last_value",
+            "moving_average",
+            "neural",
+            "seasonal_mean",
+            "seasonal_naive",
+        ):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown temporal model"):
+            make_temporal_model("nope")
+
+    def test_instances_are_fresh(self):
+        a = make_temporal_model("seasonal_naive")
+        b = make_temporal_model("seasonal_naive")
+        assert a is not b
+
+    @pytest.mark.parametrize("name", ["last_value", "moving_average", "seasonal_naive",
+                                      "seasonal_mean", "ar", "arima", "holt_winters"])
+    def test_every_model_fits_and_predicts(self, name, rng):
+        history = 30 + 10 * np.sin(2 * np.pi * np.arange(288) / 96) + rng.normal(0, 1, 288)
+        model = make_temporal_model(name, period=96)
+        assert isinstance(model, TemporalPredictor)
+        forecast = fit_predict(model, history, 96)
+        assert forecast.shape == (96,)
+        assert np.isfinite(forecast).all()
+        # Forecasts should stay in a sane band around the signal.
+        assert forecast.mean() == pytest.approx(30.0, abs=15.0)
+
+    def test_neural_model_smoke(self, rng):
+        history = 30 + 10 * np.sin(2 * np.pi * np.arange(288) / 96) + rng.normal(0, 1, 288)
+        forecast = fit_predict(make_temporal_model("neural", period=96), history, 96)
+        assert forecast.shape == (96,)
+
+    def test_period_forwarded(self):
+        model = make_temporal_model("seasonal_naive", period=48)
+        assert model.period == 48

@@ -1,0 +1,115 @@
+"""Tests for the two-step signature search (repro.prediction.spatial.signatures)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    search_signature_set,
+)
+
+
+def structured_matrix(rng, t=300):
+    """Six series: two independent drivers, four linear combinations."""
+    a = rng.normal(size=t)
+    b = rng.normal(size=t)
+    rows = [
+        a,
+        b,
+        2.0 * a + 0.01 * rng.normal(size=t),
+        -1.0 * b + 0.01 * rng.normal(size=t),
+        0.5 * a + 0.02 * rng.normal(size=t),
+        3.0 + 1.5 * b + 0.02 * rng.normal(size=t),
+    ]
+    return np.vstack(rows)
+
+
+class TestSearch:
+    def test_partition_complete(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data, SignatureSearchConfig(method=ClusteringMethod.CBC))
+        all_indices = sorted(model.signature_indices + model.dependent_indices)
+        assert all_indices == list(range(6))
+
+    def test_cbc_reduces_structured_set(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data, SignatureSearchConfig(method=ClusteringMethod.CBC))
+        assert len(model.signature_indices) <= 3  # two drivers (+ slack)
+
+    def test_dependents_well_fit(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data, SignatureSearchConfig(method=ClusteringMethod.CBC))
+        fitted = model.fitted(data)
+        for idx in model.dependent_indices:
+            residual = np.abs(fitted[idx] - data[idx]).mean()
+            assert residual < 0.1 * (np.abs(data[idx]).mean() + 1e-9)
+
+    def test_stepwise_removes_multicollinear_signature(self, rng):
+        t = 400
+        a, b, d = rng.normal(size=t), rng.normal(size=t), rng.normal(size=t)
+        # The classical pitfall: e looks like its own cluster (pairwise rho
+        # with each driver is only ~0.58 < 0.7) yet is a perfect linear
+        # combination of the other clusters' signatures.
+        e = (a + b + d) / np.sqrt(3.0) + 0.01 * rng.normal(size=t)
+        data = np.vstack(
+            [
+                a, a + 0.01 * rng.normal(size=t),
+                b, b + 0.01 * rng.normal(size=t),
+                d, d + 0.01 * rng.normal(size=t),
+                e, e + 0.01 * rng.normal(size=t),
+            ]
+        )
+        without = search_signature_set(
+            data, SignatureSearchConfig(method=ClusteringMethod.CBC, apply_stepwise=False)
+        )
+        with_step = search_signature_set(
+            data, SignatureSearchConfig(method=ClusteringMethod.CBC, apply_stepwise=True)
+        )
+        assert len(with_step.signature_indices) < len(without.signature_indices)
+
+    def test_dtw_method_runs(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data, SignatureSearchConfig(method=ClusteringMethod.DTW))
+        assert 1 <= len(model.signature_indices) <= 6
+
+    def test_signature_ratio(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data)
+        assert model.signature_ratio == pytest.approx(
+            len(model.signature_indices) / 6.0
+        )
+
+    def test_single_series(self, rng):
+        data = rng.normal(size=(1, 50))
+        model = search_signature_set(data)
+        assert model.signature_indices == (0,)
+        assert model.dependent_indices == ()
+
+
+class TestReconstruct:
+    def test_signature_rows_pass_through(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data)
+        recon = model.fitted(data)
+        for idx in model.signature_indices:
+            assert recon[idx] == pytest.approx(data[idx])
+
+    def test_reconstruct_shape(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data)
+        future = rng.normal(size=(len(model.signature_indices), 10))
+        out = model.reconstruct(future)
+        assert out.shape == (6, 10)
+
+    def test_reconstruct_wrong_rows_rejected(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data)
+        with pytest.raises(ValueError):
+            model.reconstruct(rng.normal(size=(len(model.signature_indices) + 1, 10)))
+
+    def test_fitted_wrong_shape_rejected(self, rng):
+        data = structured_matrix(rng)
+        model = search_signature_set(data)
+        with pytest.raises(ValueError):
+            model.fitted(data[:-1])

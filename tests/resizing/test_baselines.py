@@ -1,0 +1,90 @@
+"""Tests for baseline allocators (repro.resizing.baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resizing.baselines import max_min_fairness_allocation, stingy_allocation
+from repro.resizing.problem import ResizingProblem
+
+
+class TestStingy:
+    def test_allocates_peak(self):
+        problem = ResizingProblem(
+            demands=np.array([[1.0, 3.0], [2.0, 2.0]]), capacity=100.0
+        )
+        assert stingy_allocation(problem) == pytest.approx([3.0, 2.0])
+
+    def test_respects_bounds(self):
+        problem = ResizingProblem(
+            demands=np.array([[1.0, 3.0]]),
+            capacity=100.0,
+            lower_bounds=np.array([5.0]),
+        )
+        assert stingy_allocation(problem) == pytest.approx([5.0])
+
+
+class TestMaxMin:
+    def test_abundance_reaches_all_targets(self):
+        problem = ResizingProblem(
+            demands=np.array([[3.0, 6.0], [1.0, 2.0]]), capacity=100.0, alpha=0.6
+        )
+        alloc = max_min_fairness_allocation(problem)
+        # Targets are peak/alpha = [10, 10/3]; surplus then spreads further.
+        assert alloc[0] >= 10.0 - 1e-9
+        assert alloc[1] >= 2.0 / 0.6 - 1e-9
+
+    def test_capacity_exhausted(self):
+        """Paper: the pour continues 'until all capacity is exhausted'."""
+        problem = ResizingProblem(
+            demands=np.array([[3.0, 6.0], [1.0, 2.0]]), capacity=40.0, alpha=0.6
+        )
+        alloc = max_min_fairness_allocation(problem)
+        assert alloc.sum() == pytest.approx(40.0)
+
+    def test_scarcity_favors_small_vms(self):
+        problem = ResizingProblem(
+            demands=np.array([[30.0] * 3, [1.0] * 3]), capacity=10.0, alpha=0.6
+        )
+        alloc = max_min_fairness_allocation(problem)
+        # Small VM reaches its target (1/0.6); big VM absorbs the remainder
+        # and stays far below its own 50.0 target.
+        assert alloc[1] >= 1.0 / 0.6 - 1e-9
+        assert alloc[0] < 30.0 / 0.6
+
+    def test_equal_vms_get_equal_shares(self):
+        problem = ResizingProblem(
+            demands=np.array([[5.0] * 4, [5.0] * 4]), capacity=6.0, alpha=0.6
+        )
+        alloc = max_min_fairness_allocation(problem)
+        assert alloc[0] == pytest.approx(alloc[1])
+
+    def test_upper_bounds_cap_the_pour(self):
+        problem = ResizingProblem(
+            demands=np.array([[5.0, 5.0]]),
+            capacity=100.0,
+            upper_bounds=np.array([6.0]),
+        )
+        alloc = max_min_fairness_allocation(problem)
+        assert alloc[0] <= 6.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5000), st.floats(0.2, 2.0))
+    def test_budget_never_violated(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(0, 10, size=(4, 6))
+        capacity = max(scale * demands.max(axis=1).sum(), 1.0)
+        problem = ResizingProblem(demands=demands, capacity=capacity, alpha=0.6)
+        alloc = max_min_fairness_allocation(problem)
+        assert alloc.sum() <= capacity + 1e-6
+        assert np.all(alloc >= -1e-9)
+
+    def test_lower_bounds_funded_first(self):
+        problem = ResizingProblem(
+            demands=np.array([[1.0], [1.0]]),
+            capacity=5.0,
+            lower_bounds=np.array([2.0, 2.0]),
+        )
+        alloc = max_min_fairness_allocation(problem)
+        assert np.all(alloc >= 2.0 - 1e-9)

@@ -1,0 +1,83 @@
+"""Tests for the DRF allocator (repro.resizing.drf)."""
+
+import numpy as np
+import pytest
+
+from repro.resizing.drf import drf_allocation
+from repro.resizing.problem import ResizingProblem
+from repro.trace.model import Resource
+
+
+def two_resource_problems(cpu_demands, ram_demands, cpu_cap, ram_cap, alpha=0.6):
+    return {
+        Resource.CPU: ResizingProblem(
+            demands=np.asarray(cpu_demands, float), capacity=cpu_cap, alpha=alpha
+        ),
+        Resource.RAM: ResizingProblem(
+            demands=np.asarray(ram_demands, float), capacity=ram_cap, alpha=alpha
+        ),
+    }
+
+
+class TestDrf:
+    def test_abundance_meets_targets(self):
+        problems = two_resource_problems(
+            [[3.0, 6.0], [1.0, 2.0]], [[2.0, 4.0], [4.0, 8.0]], 100.0, 100.0
+        )
+        alloc = drf_allocation(problems)
+        assert alloc[Resource.CPU][0] >= 6.0 / 0.6 - 0.2
+        assert alloc[Resource.RAM][1] >= 8.0 / 0.6 - 0.2
+
+    def test_budgets_never_violated(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            cpu = local.uniform(0, 10, size=(4, 6))
+            ram = local.uniform(0, 8, size=(4, 6))
+            problems = two_resource_problems(cpu, ram, 20.0, 15.0)
+            alloc = drf_allocation(problems)
+            assert alloc[Resource.CPU].sum() <= 20.0 + 1e-6
+            assert alloc[Resource.RAM].sum() <= 15.0 + 1e-6
+            assert np.all(alloc[Resource.CPU] >= -1e-9)
+
+    def test_dominant_shares_equalized_under_scarcity(self):
+        # Two identical VMs competing for a scarce resource: equal shares.
+        problems = two_resource_problems(
+            [[30.0], [30.0]], [[1.0], [1.0]], 10.0, 100.0
+        )
+        alloc = drf_allocation(problems)
+        assert alloc[Resource.CPU][0] == pytest.approx(alloc[Resource.CPU][1], rel=0.05)
+
+    def test_cpu_heavy_vs_ram_heavy(self):
+        # VM0 is CPU-dominant, VM1 RAM-dominant: DRF should let each take
+        # from its non-dominant resource freely.
+        problems = two_resource_problems(
+            [[20.0], [1.0]], [[1.0], [20.0]], 20.0, 20.0
+        )
+        alloc = drf_allocation(problems)
+        # Both progress: neither is starved on its dominant resource.
+        assert alloc[Resource.CPU][0] > 5.0
+        assert alloc[Resource.RAM][1] > 5.0
+
+    def test_mismatched_vm_counts_rejected(self):
+        problems = {
+            Resource.CPU: ResizingProblem(demands=np.ones((2, 2)), capacity=10.0),
+            Resource.RAM: ResizingProblem(demands=np.ones((3, 2)), capacity=10.0),
+        }
+        with pytest.raises(ValueError):
+            drf_allocation(problems)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            drf_allocation({})
+
+    def test_upper_bounds_respected(self):
+        problems = {
+            Resource.CPU: ResizingProblem(
+                demands=np.full((1, 3), 30.0),
+                capacity=100.0,
+                upper_bounds=np.array([5.0]),
+            ),
+            Resource.RAM: ResizingProblem(demands=np.ones((1, 3)), capacity=100.0),
+        }
+        alloc = drf_allocation(problems)
+        assert alloc[Resource.CPU][0] <= 5.0 + 1e-6

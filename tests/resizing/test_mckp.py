@@ -1,0 +1,155 @@
+"""Tests for the MCKP transform (repro.resizing.mckp), including Lemma 4.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resizing.mckp import build_mckp
+from repro.resizing.problem import ResizingProblem, tickets_for_allocation
+
+PAPER_EXAMPLE = [30.0, 30.0, 40.0, 40.0, 23.0, 25.0, 60.0, 60.0, 60.0, 60.0]
+
+
+class TestPaperExample:
+    """The running example of Section IV-A.1."""
+
+    def _instance(self, literal=True, epsilon=0.0):
+        problem = ResizingProblem(
+            demands=np.array([PAPER_EXAMPLE]), capacity=1000.0, alpha=0.6
+        )
+        return build_mckp(problem, epsilon=epsilon, literal_formulation=literal)
+
+    def test_reduced_demand_set(self):
+        group = self._instance().groups[0]
+        assert group.capacities.tolist() == [60.0, 40.0, 30.0, 25.0, 23.0, 0.0]
+
+    def test_ticket_counts(self):
+        group = self._instance().groups[0]
+        assert group.tickets.tolist() == [0, 4, 6, 8, 9, 10]
+
+    def test_discretized_set(self):
+        # ε = 10 rounds {23, 25} up to 30: D' = {60, 40, 30, 0} and the
+        # paper's updated ticket counts P = {0, 4, 6, 10}.
+        group = self._instance(epsilon=10.0).groups[0]
+        assert group.capacities.tolist() == [60.0, 40.0, 30.0, 0.0]
+        assert group.tickets.tolist() == [0, 4, 6, 10]
+
+    def test_effective_capacity_scaling(self):
+        # Non-literal: the allocated capacity is candidate / alpha.
+        group = self._instance(literal=False).groups[0]
+        assert group.capacities[0] == pytest.approx(100.0)
+        assert group.tickets[0] == 0
+
+
+class TestBuildMckp:
+    def test_idle_vm_single_candidate(self):
+        problem = ResizingProblem(demands=np.zeros((1, 5)), capacity=10.0, alpha=0.6)
+        group = build_mckp(problem).groups[0]
+        assert group.capacities.tolist() == [0.0]
+        assert group.tickets.tolist() == [0]
+
+    def test_lower_bound_trims_candidates(self):
+        problem = ResizingProblem(
+            demands=np.array([[1.0, 2.0, 3.0]]),
+            capacity=100.0,
+            alpha=0.5,
+            lower_bounds=np.array([4.0]),
+        )
+        group = build_mckp(problem).groups[0]
+        assert group.capacities.min() >= 4.0
+
+    def test_upper_bound_caps_candidates(self):
+        problem = ResizingProblem(
+            demands=np.array([[1.0, 2.0, 30.0]]),
+            capacity=100.0,
+            alpha=0.5,
+            upper_bounds=np.array([10.0]),
+        )
+        group = build_mckp(problem).groups[0]
+        assert group.capacities.max() <= 10.0
+
+    def test_tickets_monotone(self, rng):
+        problem = ResizingProblem(
+            demands=rng.uniform(0, 10, size=(4, 20)), capacity=100.0, alpha=0.6
+        )
+        for group in build_mckp(problem).groups:
+            assert np.all(np.diff(group.tickets) >= 0)
+            assert np.all(np.diff(group.capacities) < 0)
+
+    def test_epsilon_per_vm(self, rng):
+        problem = ResizingProblem(
+            demands=rng.uniform(0, 10, size=(3, 10)), capacity=100.0, alpha=0.6
+        )
+        instance = build_mckp(problem, epsilon=np.array([0.5, 1.0, 2.0]))
+        assert instance.n_vms == 3
+
+    def test_epsilon_validation(self, rng):
+        problem = ResizingProblem(demands=np.ones((2, 3)), capacity=10.0)
+        with pytest.raises(ValueError):
+            build_mckp(problem, epsilon=np.array([1.0]))
+        with pytest.raises(ValueError):
+            build_mckp(problem, epsilon=-1.0)
+
+    def test_instance_accessors(self, rng):
+        problem = ResizingProblem(
+            demands=rng.uniform(0, 5, size=(3, 8)), capacity=50.0, alpha=0.6
+        )
+        instance = build_mckp(problem)
+        assert instance.n_vms == 3
+        assert instance.n_variables == sum(g.n_choices for g in instance.groups)
+        assert instance.min_total_capacity() <= instance.max_total_capacity()
+        choices = (0, 0, 0)
+        alloc = instance.allocation_for(choices)
+        assert alloc == pytest.approx([g.capacities[0] for g in instance.groups])
+
+    def test_choice_count_checked(self, rng):
+        problem = ResizingProblem(demands=np.ones((2, 3)), capacity=10.0)
+        instance = build_mckp(problem)
+        with pytest.raises(ValueError):
+            instance.allocation_for((0,))
+
+
+class TestLemma41:
+    """Lemma 4.1: restricting capacities to the candidate set loses nothing."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 20.0), min_size=2, max_size=6),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_candidates_dominate_continuum(self, demand_lists):
+        t = min(len(d) for d in demand_lists)
+        demands = np.array([d[:t] for d in demand_lists])
+        problem = ResizingProblem(demands=demands, capacity=1e9, alpha=0.6)
+        instance = build_mckp(problem)
+        # For each VM and ANY capacity value c, some candidate uses <= c
+        # capacity and yields <= the tickets of c (sampled check).
+        rng = np.random.default_rng(0)
+        for i, group in enumerate(instance.groups):
+            for c in rng.uniform(0.0, 40.0, size=10):
+                tickets_c = int(
+                    (demands[i] > 0.6 * c + 1e-9).sum()
+                ) if c > 0 else int((demands[i] > 1e-9).sum())
+                dominating = [
+                    v
+                    for v in range(group.n_choices)
+                    if group.capacities[v] <= c + 1e-9
+                    and group.tickets[v] <= tickets_c
+                ]
+                assert dominating, (
+                    f"no candidate dominates capacity {c} for VM {i}"
+                )
+
+    def test_epsilon_rounding_is_safe(self, rng):
+        """ε rounds demands up: the discretized optimum never tickets more
+        at the same capacity level (it allocates at least as much)."""
+        demands = rng.uniform(0, 10, size=(1, 12))
+        problem = ResizingProblem(demands=demands, capacity=1e9, alpha=0.6)
+        plain = build_mckp(problem).groups[0]
+        rounded = build_mckp(problem, epsilon=2.0).groups[0]
+        assert rounded.capacities[0] >= plain.capacities[0] - 1e-9
+        assert rounded.tickets[0] == 0 == plain.tickets[0]

@@ -1,0 +1,41 @@
+"""Tests for the benchmark harness helpers (repro.benchhelpers)."""
+
+import pytest
+
+from repro.benchhelpers.fleetcache import characterization_fleet, pipeline_fleet
+from repro.benchhelpers.tables import format_row, print_series, print_table
+
+
+class TestTables:
+    def test_format_row_alignment(self):
+        row = format_row(["abc", 1.5, 7], [5, 8, 4])
+        assert row == "  abc      1.50     7"
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["a", "b"], [[1, 2.0], ["x", 3.5]])
+        out = capsys.readouterr().out
+        assert "== Title" in out
+        assert "3.50" in out
+        assert "--------" in out
+
+    def test_print_series(self, capsys):
+        print_series("CDF", [(0.0, 0.1), (1.0, 0.9)], "x", "F")
+        out = capsys.readouterr().out
+        assert "== CDF" in out
+        assert "0.900" in out
+
+
+class TestFleetCache:
+    def test_characterization_fleet_cached(self):
+        a = characterization_fleet(10)
+        b = characterization_fleet(10)
+        assert a is b  # lru_cache identity
+        assert a.n_boxes == 10
+        assert a.boxes[0].n_windows == 96  # one day
+
+    def test_pipeline_fleet_six_days(self):
+        fleet = pipeline_fleet(3)
+        assert fleet.boxes[0].n_windows == 6 * 96
+
+    def test_different_scales_different_fleets(self):
+        assert characterization_fleet(10) is not characterization_fleet(11)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_predict_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--method", "bogus"])
+
+
+class TestCommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--boxes", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ticket characterization" in out
+        assert "inter_pair" in out
+
+    def test_resize(self, capsys):
+        assert main(["resize", "--boxes", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Oracle resizing" in out
+        assert "stingy" in out
+
+    def test_predict_with_cheap_model(self, capsys):
+        code = main(
+            [
+                "predict",
+                "--boxes", "3",
+                "--seed", "3",
+                "--method", "cbc",
+                "--temporal", "seasonal_mean",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean APE" in out
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        target = tmp_path / "fleet.csv"
+        assert main(["generate", str(target), "--boxes", "2", "--days", "1"]) == 0
+        assert target.exists()
+        assert main(["characterize", "--input", str(target)]) == 0
+
+    def test_testbed(self, capsys):
+        assert main(["testbed", "--hours", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MediaWiki testbed" in out
+        assert "wiki-two" in out

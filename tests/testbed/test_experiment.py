@@ -1,0 +1,85 @@
+"""Tests for the testbed experiment runner (repro.testbed.experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.experiment import TestbedConfig, run_testbed_experiment
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = TestbedConfig(duration_windows=24, seed=11)
+    original = run_testbed_experiment(resizing=False, config=cfg)
+    resized = run_testbed_experiment(resizing=True, config=cfg)
+    return original, resized
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(duration_windows=0)
+        with pytest.raises(ValueError):
+            TestbedConfig(resize_every=0)
+        with pytest.raises(ValueError):
+            TestbedConfig(warmup_windows=-1)
+
+
+class TestExperiment:
+    def test_series_lengths(self, runs):
+        original, resized = runs
+        for run in runs:
+            for series in run.usage_pct.values():
+                assert series.shape == (24,)
+            for series in run.throughput.values():
+                assert series.shape == (24,)
+
+    def test_identical_offered_load(self, runs):
+        """Both runs must see the same workload for a fair comparison."""
+        original, resized = runs
+        # With the same seed, the original and resized runs draw identical
+        # rates, so wiki-one's unsaturated throughput matches exactly.
+        assert original.throughput["wiki-one"] == pytest.approx(
+            resized.throughput["wiki-one"], rel=1e-6
+        )
+
+    def test_resizing_reduces_tickets_dramatically(self, runs):
+        original, resized = runs
+        assert original.tickets() >= 30
+        assert resized.tickets() <= 5
+
+    def test_usage_capped_at_limit(self, runs):
+        for run in runs:
+            for series in run.usage_pct.values():
+                assert series.max() <= 100.0 + 1e-9
+                assert series.min() >= 0.0
+
+    def test_limits_respected_per_node(self, runs):
+        _, resized = runs
+        from repro.testbed.experiment import build_cluster
+
+        cluster, _, _ = build_cluster()
+        for node_name, node in cluster.nodes.items():
+            vm_ids = [vm.vm_id for vm in cluster.vms_on(node_name)]
+            for t in range(24):
+                total = sum(resized.limits[vm_id][t] for vm_id in vm_ids)
+                assert total <= node.cpu_capacity + 1e-6
+
+    def test_original_limits_static(self, runs):
+        original, _ = runs
+        for series in original.limits.values():
+            assert np.ptp(series) == 0.0
+
+    def test_wiki_two_throughput_gain(self, runs):
+        original, resized = runs
+        assert resized.mean_throughput("wiki-two") > original.mean_throughput("wiki-two")
+
+    def test_wiki_one_latency_gain(self, runs):
+        original, resized = runs
+        assert resized.mean_response_time("wiki-one") < original.mean_response_time(
+            "wiki-one"
+        )
+
+    def test_tickets_per_vm_accessor(self, runs):
+        original, _ = runs
+        total = sum(original.tickets(vm_id) for vm_id in original.usage_pct)
+        assert total == original.tickets()

@@ -1,0 +1,80 @@
+"""Tests for the MediaWiki deployment model (repro.testbed.mediawiki)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.experiment import build_cluster
+from repro.testbed.mediawiki import wiki_one_spec, wiki_two_spec
+
+
+@pytest.fixture()
+def deployments():
+    return build_cluster()
+
+
+class TestSpecs:
+    def test_topologies_match_fig11(self):
+        one, two = wiki_one_spec(), wiki_two_spec()
+        assert (one.n_apache, one.n_memcached, one.n_db) == (4, 2, 1)
+        assert (two.n_apache, two.n_memcached, two.n_db) == (2, 1, 1)
+
+    def test_loads_alternate_hourly(self):
+        assert wiki_one_spec().load.windows_per_phase == 4  # 1 hour of 15-min windows
+
+
+class TestBuildCluster:
+    def test_eleven_vms_three_nodes(self, deployments):
+        cluster, dep_one, dep_two = deployments
+        assert len(cluster.vms) == 11
+        assert set(cluster.nodes) == {"node2", "node3", "node4"}
+        assert len(dep_one.vm_ids) == 7
+        assert len(dep_two.vm_ids) == 4
+
+    def test_ram_within_host(self, deployments):
+        cluster, _, _ = deployments
+        for node_name, node in cluster.nodes.items():
+            total_ram = sum(vm.ram_limit for vm in cluster.vms_on(node_name))
+            assert total_ram <= node.ram_gb + 1e-9
+
+
+class TestStep:
+    def test_zero_load_idle(self, deployments):
+        _, dep_one, _ = deployments
+        metrics = dep_one.step(0.0)
+        assert metrics.throughput_rps == 0.0
+        # Background demand only.
+        for demand in metrics.demands_ghz.values():
+            assert 0.0 < demand < 0.5
+
+    def test_low_load_served_fully(self, deployments):
+        _, dep_one, _ = deployments
+        metrics = dep_one.step(100.0)
+        assert metrics.throughput_rps == pytest.approx(100.0, rel=1e-6)
+
+    def test_throughput_monotone_then_saturates(self, deployments):
+        _, _, dep_two = deployments
+        tputs = [dep_two.step(r).throughput_rps for r in (5.0, 15.0, 30.0, 60.0)]
+        assert tputs[0] < tputs[1] <= tputs[2] <= tputs[3] + 1e-9
+        assert tputs[3] < 60.0  # saturated well below offered
+
+    def test_response_time_grows_with_load(self, deployments):
+        _, dep_one, _ = deployments
+        rt_low = dep_one.step(50.0).response_time_s
+        rt_high = dep_one.step(390.0).response_time_s
+        assert rt_high > rt_low
+
+    def test_demands_cover_all_vms(self, deployments):
+        _, dep_one, dep_two = deployments
+        metrics_one = dep_one.step(100.0)
+        metrics_two = dep_two.step(10.0)
+        assert set(metrics_one.demands_ghz) == set(dep_one.vm_ids)
+        assert set(metrics_two.demands_ghz) == set(dep_two.vm_ids)
+
+    def test_raising_limits_lowers_response_time(self, deployments):
+        cluster, dep_one, _ = deployments
+        high_load = 390.0
+        before = dep_one.step(high_load).response_time_s
+        for vm in dep_one.apache:
+            vm.cpu_limit = vm.cpu_limit * 1.8
+        after = dep_one.step(high_load).response_time_s
+        assert after < before

@@ -1,0 +1,81 @@
+"""Tests for queueing primitives (repro.testbed.queueing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testbed.queueing import (
+    SATURATION_RHO,
+    ps_response_time,
+    served_rate,
+    station_sample,
+)
+
+
+class TestPsResponseTime:
+    def test_zero_load_is_service_time(self):
+        assert ps_response_time(0.1, 0.0) == pytest.approx(0.1)
+
+    def test_half_load_doubles(self):
+        assert ps_response_time(0.1, 0.5) == pytest.approx(0.2)
+
+    def test_capped_at_rho_cap(self):
+        capped = ps_response_time(0.1, 2.0, rho_cap=0.9)
+        assert capped == pytest.approx(0.1 / 0.1)
+
+    def test_monotone_in_rho(self):
+        values = [ps_response_time(0.05, rho) for rho in np.linspace(0, 1.2, 20)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ps_response_time(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            ps_response_time(0.1, 0.5, rho_cap=1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 10.0), st.floats(-1.0, 5.0))
+    def test_at_least_service_time(self, s, rho):
+        assert ps_response_time(s, rho) >= s - 1e-12
+
+
+class TestServedRate:
+    def test_under_capacity_serves_all(self):
+        assert served_rate(10.0, 100.0, 1.0) == pytest.approx(10.0)
+
+    def test_saturated_clips(self):
+        # capacity 10 GHz, 1 GHz-s per request -> max 9.5 rps.
+        assert served_rate(50.0, 10.0, 1.0) == pytest.approx(SATURATION_RHO * 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            served_rate(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            served_rate(1.0, 1.0, 0.0)
+
+
+class TestStationSample:
+    def test_unsaturated_sample(self):
+        sample = station_sample(
+            offered_rate=10.0,
+            capacity_ghz=5.0,
+            work_per_request=0.1,
+            base_service_time=0.05,
+            background_ghz=0.5,
+        )
+        assert sample.served_rate == pytest.approx(10.0)
+        assert not sample.saturated
+        assert sample.demand_ghz == pytest.approx(1.5)
+        assert sample.rho == pytest.approx(0.3)
+        assert sample.response_time > 0.05
+
+    def test_saturated_sample(self):
+        sample = station_sample(
+            offered_rate=100.0,
+            capacity_ghz=2.0,
+            work_per_request=0.1,
+            base_service_time=0.05,
+        )
+        assert sample.saturated
+        assert sample.served_rate < 100.0

@@ -1,0 +1,38 @@
+"""Tests for the testbed load generator (repro.testbed.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.workload import AlternatingLoad
+
+
+class TestAlternatingLoad:
+    def test_noiseless_square_wave(self):
+        load = AlternatingLoad(low_rps=10.0, high_rps=30.0, windows_per_phase=2, noise=0.0)
+        rates = load.rates(8)
+        assert rates.tolist() == [10, 10, 30, 30, 10, 10, 30, 30]
+
+    def test_start_high(self):
+        load = AlternatingLoad(10.0, 30.0, windows_per_phase=1, noise=0.0, start_low=False)
+        assert load.rates(4).tolist() == [30, 10, 30, 10]
+
+    def test_noise_jitters_but_preserves_phases(self, rng):
+        load = AlternatingLoad(10.0, 30.0, windows_per_phase=4, noise=0.05)
+        rates = load.rates(8, rng)
+        assert rates[:4].mean() < rates[4:].mean()
+        assert not np.allclose(rates[:4], 10.0)
+
+    def test_rates_nonnegative(self, rng):
+        load = AlternatingLoad(0.1, 0.2, noise=5.0)  # absurd noise still safe
+        assert load.rates(100, rng).min() >= 0.0
+
+    def test_period(self):
+        assert AlternatingLoad(1.0, 2.0, windows_per_phase=4).period_windows == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlternatingLoad(low_rps=5.0, high_rps=1.0)
+        with pytest.raises(ValueError):
+            AlternatingLoad(1.0, 2.0, windows_per_phase=0)
+        with pytest.raises(ValueError):
+            AlternatingLoad(1.0, 2.0, noise=-0.1)

@@ -1,0 +1,50 @@
+"""Tests for the ticket cost model (repro.tickets.costs)."""
+
+import numpy as np
+import pytest
+
+from repro.tickets.costs import CostBreakdown, TicketCostModel
+
+
+class TestCostModel:
+    def test_cost_formula(self):
+        model = TicketCostModel(
+            cost_per_ticket=10.0,
+            triage_cost_per_ticketed_day=5.0,
+            cost_per_resize_action=0.5,
+        )
+        assert model.cost(tickets=4, ticketed_days=2, resize_actions=6) == pytest.approx(
+            40.0 + 10.0 + 3.0
+        )
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            TicketCostModel(cost_per_ticket=-1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            TicketCostModel().cost(-1)
+
+    def test_savings(self):
+        model = TicketCostModel(cost_per_ticket=100.0, triage_cost_per_ticketed_day=0.0,
+                                cost_per_resize_action=1.0)
+        breakdown = model.savings(
+            tickets_before=50, tickets_after=10, resize_actions=20
+        )
+        assert breakdown.tickets_avoided == 40
+        assert breakdown.net_savings == pytest.approx(5000.0 - 1020.0)
+        assert breakdown.savings_percent == pytest.approx(100 * 3980.0 / 5000.0)
+
+    def test_savings_percent_nan_when_free(self):
+        model = TicketCostModel(0.0, 0.0, 0.0)
+        assert np.isnan(model.savings(0, 0).savings_percent)
+
+    def test_actuation_cost_can_outweigh_small_gains(self):
+        model = TicketCostModel(cost_per_ticket=1.0, triage_cost_per_ticketed_day=0.0,
+                                cost_per_resize_action=10.0)
+        breakdown = model.savings(tickets_before=5, tickets_after=4, resize_actions=3)
+        assert breakdown.net_savings < 0
+
+    def test_defaults_reasonable(self):
+        model = TicketCostModel()
+        assert model.cost_per_ticket > model.cost_per_resize_action

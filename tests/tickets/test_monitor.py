@@ -1,0 +1,93 @@
+"""Tests for ticket monitoring (repro.tickets.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.tickets.monitor import (
+    count_tickets,
+    count_tickets_for_demand,
+    per_vm_ticket_counts,
+    ticket_matrix,
+    tickets_for_box,
+)
+from repro.tickets.policy import TicketPolicy
+from repro.trace.model import BoxTrace, Resource, VMTrace
+
+
+@pytest.fixture()
+def box():
+    hot = VMTrace(
+        "hot", 4.0, 8.0,
+        cpu_usage=np.array([70.0, 50.0, 90.0, 65.0]),
+        ram_usage=np.array([30.0, 30.0, 30.0, 30.0]),
+    )
+    cool = VMTrace(
+        "cool", 4.0, 8.0,
+        cpu_usage=np.array([10.0, 20.0, 30.0, 40.0]),
+        ram_usage=np.array([61.0, 10.0, 10.0, 10.0]),
+    )
+    return BoxTrace("b0", 10.0, 20.0, [hot, cool])
+
+
+class TestTicketMatrix:
+    def test_indicator_semantics(self):
+        usage = np.array([[59.0, 61.0], [60.0, 80.0]])
+        matrix = ticket_matrix(usage, TicketPolicy(60.0))
+        assert matrix.tolist() == [[False, True], [False, True]]
+
+    def test_1d_promoted(self):
+        assert ticket_matrix(np.array([70.0]), TicketPolicy(60.0)).shape == (1, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            ticket_matrix(np.zeros((2, 2, 2)), TicketPolicy(60.0))
+
+    def test_count(self):
+        usage = np.array([[70.0, 70.0, 10.0]])
+        assert count_tickets(usage, TicketPolicy(60.0)) == 2
+
+
+class TestDemandTickets:
+    def test_demand_threshold(self):
+        policy = TicketPolicy(60.0)
+        demand = [5.0, 6.1, 7.0]
+        assert count_tickets_for_demand(demand, capacity=10.0, policy=policy) == 2
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            count_tickets_for_demand([1.0], 0.0, TicketPolicy(60.0))
+
+    def test_consistent_with_usage_counting(self, box):
+        policy = TicketPolicy(60.0)
+        for vm in box.vms:
+            via_usage = int((vm.cpu_usage > 60.0).sum())
+            via_demand = count_tickets_for_demand(
+                vm.demand(Resource.CPU), vm.cpu_capacity, policy
+            )
+            assert via_usage == via_demand
+
+
+class TestBoxHelpers:
+    def test_per_vm_counts(self, box):
+        counts = per_vm_ticket_counts(box, Resource.CPU, TicketPolicy(60.0))
+        assert counts.tolist() == [3, 0]
+
+    def test_records_sorted_and_complete(self, box):
+        records = tickets_for_box(box, TicketPolicy(60.0))
+        assert len(records) == 4  # 3 CPU on hot + 1 RAM on cool
+        windows = [r.window for r in records]
+        assert windows == sorted(windows)
+
+    def test_records_fields(self, box):
+        records = tickets_for_box(box, TicketPolicy(60.0), resources=[Resource.RAM])
+        assert len(records) == 1
+        record = records[0]
+        assert record.vm_id == "cool"
+        assert record.resource is Resource.RAM
+        assert record.window == 0
+        assert record.usage_pct == pytest.approx(61.0)
+
+    def test_higher_threshold_fewer_records(self, box):
+        low = tickets_for_box(box, TicketPolicy(60.0))
+        high = tickets_for_box(box, TicketPolicy(80.0))
+        assert len(high) < len(low)

@@ -1,0 +1,48 @@
+"""Tests for ticket policies (repro.tickets.policy)."""
+
+import pytest
+
+from repro.tickets.policy import DEFAULT_POLICY, DEFAULT_THRESHOLDS, TicketPolicy
+
+
+class TestTicketPolicy:
+    def test_defaults(self):
+        assert DEFAULT_POLICY.threshold_pct == 60.0
+        assert DEFAULT_POLICY.window_minutes == 15
+        assert DEFAULT_POLICY.alpha == pytest.approx(0.6)
+
+    def test_thresholds_constant(self):
+        assert DEFAULT_THRESHOLDS == (60.0, 70.0, 80.0)
+
+    def test_violates_usage_strict(self):
+        policy = TicketPolicy(60.0)
+        assert not policy.violates_usage(60.0)
+        assert policy.violates_usage(60.01)
+
+    def test_violates_demand(self):
+        policy = TicketPolicy(60.0)
+        assert policy.violates_demand(demand=6.1, capacity=10.0)
+        assert not policy.violates_demand(demand=6.0, capacity=10.0)
+
+    def test_violates_demand_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TicketPolicy(60.0).violates_demand(1.0, 0.0)
+
+    def test_with_threshold(self):
+        policy = TicketPolicy(60.0, window_minutes=30)
+        other = policy.with_threshold(80.0)
+        assert other.threshold_pct == 80.0
+        assert other.window_minutes == 30
+
+    @pytest.mark.parametrize("bad", [0.0, 100.0, -5.0, 150.0])
+    def test_invalid_threshold(self, bad):
+        with pytest.raises(ValueError):
+            TicketPolicy(bad)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            TicketPolicy(60.0, window_minutes=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_POLICY.threshold_pct = 70.0

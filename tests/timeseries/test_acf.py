@@ -1,0 +1,85 @@
+"""Tests for autocorrelation features (repro.timeseries.acf)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.acf import autocorrelation, feature_vector, seasonal_strength
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        assert autocorrelation(rng.normal(size=50), 0) == 1.0
+
+    def test_smooth_series_high_lag1(self, rng):
+        x = np.cumsum(rng.normal(size=2000))
+        assert autocorrelation(x, 1) > 0.95
+
+    def test_white_noise_near_zero(self, rng):
+        x = rng.normal(size=5000)
+        assert abs(autocorrelation(x, 1)) < 0.05
+
+    def test_alternating_series_negative(self):
+        x = np.array([1.0, -1.0] * 50)
+        assert autocorrelation(x, 1) == pytest.approx(-1.0, abs=0.05)
+
+    def test_constant_series_zero(self):
+        assert autocorrelation(np.ones(20), 1) == 0.0
+
+    def test_short_series_zero(self):
+        assert autocorrelation([1.0, 2.0], 5) == 0.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], -1)
+
+    def test_bounded(self, rng):
+        x = rng.normal(size=200)
+        for lag in (1, 5, 20):
+            assert -1.0 <= autocorrelation(x, lag) <= 1.0
+
+
+class TestSeasonalStrength:
+    def test_pure_seasonal_near_one(self):
+        x = np.tile([0.0, 10.0, 0.0, 10.0], 20)
+        assert seasonal_strength(x, 4) > 0.9
+
+    def test_white_noise_near_zero(self, rng):
+        x = rng.normal(size=960)
+        assert seasonal_strength(x, 96) < 0.3
+
+    def test_short_series_zero(self, rng):
+        assert seasonal_strength(rng.normal(size=10), 96) == 0.0
+
+    def test_constant_zero(self):
+        assert seasonal_strength(np.ones(200), 4) == 0.0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            seasonal_strength([1.0] * 10, 1)
+
+
+class TestFeatureVector:
+    def test_shape_and_finiteness(self, rng):
+        vec = feature_vector(rng.uniform(1, 100, size=300), period=96)
+        assert vec.shape == (8,)
+        assert np.isfinite(vec).all()
+
+    def test_level_and_spread(self):
+        x = np.array([10.0, 10.0, 20.0, 20.0] * 30)
+        vec = feature_vector(x, period=4)
+        assert vec[0] == pytest.approx(15.0)  # mean
+        assert vec[1] == pytest.approx(5.0)  # std
+
+    def test_spiky_series_high_peak_ratio(self, rng):
+        flat = np.full(200, 10.0) + rng.normal(0, 0.1, 200)
+        spiky = flat.copy()
+        spiky[50] = 100.0
+        assert feature_vector(spiky)[7] > feature_vector(flat)[7]
+
+    def test_constant_series_safe(self):
+        vec = feature_vector(np.full(100, 5.0))
+        assert np.isfinite(vec).all()
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            feature_vector([1.0, 2.0, 3.0])

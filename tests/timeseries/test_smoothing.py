@@ -1,0 +1,87 @@
+"""Tests for smoothing helpers (repro.timeseries.smoothing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.smoothing import difference, ewma, moving_average, undifference
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self, rng):
+        x = rng.normal(size=20)
+        assert moving_average(x, 1) == pytest.approx(x)
+
+    def test_constant_series_unchanged(self):
+        x = np.full(10, 3.0)
+        assert moving_average(x, 4) == pytest.approx(x)
+
+    def test_known_values(self):
+        out = moving_average([1.0, 2.0, 3.0, 4.0], 2)
+        assert out == pytest.approx([1.0, 1.5, 2.5, 3.5])
+
+    def test_warmup_ramp(self):
+        out = moving_average([2.0, 4.0, 6.0], 3)
+        assert out == pytest.approx([2.0, 3.0, 4.0])
+
+    def test_length_preserved(self, rng):
+        x = rng.normal(size=37)
+        assert moving_average(x, 8).shape == x.shape
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_reduces_variance(self, rng):
+        x = rng.normal(size=500)
+        assert moving_average(x, 10)[20:].std() < x.std()
+
+
+class TestEwma:
+    def test_alpha_one_identity(self, rng):
+        x = rng.normal(size=15)
+        assert ewma(x, 1.0) == pytest.approx(x)
+
+    def test_first_value_kept(self):
+        assert ewma([5.0, 0.0], 0.5)[0] == 5.0
+
+    def test_recursion(self):
+        out = ewma([1.0, 3.0], 0.25)
+        assert out[1] == pytest.approx(0.25 * 3.0 + 0.75 * 1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], 0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], 1.5)
+
+
+class TestDifferencing:
+    def test_difference_known(self):
+        assert difference([1.0, 4.0, 9.0]) == pytest.approx([3.0, 5.0])
+
+    def test_seasonal_lag(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert difference(x, lag=2) == pytest.approx([2.0, 2.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            difference([1.0], lag=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+        st.integers(1, 2),
+    )
+    def test_roundtrip(self, values, lag):
+        if len(values) <= lag:
+            return
+        x = np.asarray(values)
+        d = difference(x, lag=lag)
+        restored = undifference(d, x[:lag], lag=lag)
+        assert restored == pytest.approx(x, abs=1e-8)
+
+    def test_undifference_seed_length_checked(self):
+        with pytest.raises(ValueError):
+            undifference([1.0], [1.0, 2.0], lag=1)

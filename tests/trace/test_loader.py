@@ -1,0 +1,76 @@
+"""Tests for CSV persistence (repro.trace.loader)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import FleetConfig, generate_fleet
+from repro.trace.loader import load_fleet_csv, save_fleet_csv
+
+
+@pytest.fixture()
+def tiny_fleet():
+    return generate_fleet(FleetConfig(n_boxes=2, days=1, seed=17, mean_vms_per_box=4))
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        loaded = load_fleet_csv(path)
+        assert loaded.n_boxes == tiny_fleet.n_boxes
+        assert loaded.n_vms == tiny_fleet.n_vms
+
+    def test_roundtrip_preserves_values(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        loaded = load_fleet_csv(path)
+        for box_orig, box_new in zip(tiny_fleet, loaded):
+            assert box_new.cpu_capacity == pytest.approx(box_orig.cpu_capacity)
+            for vm_orig, vm_new in zip(box_orig.vms, box_new.vms):
+                assert vm_new.vm_id == vm_orig.vm_id
+                assert vm_new.cpu_usage == pytest.approx(vm_orig.cpu_usage, abs=1e-3)
+                assert vm_new.ram_usage == pytest.approx(vm_orig.ram_usage, abs=1e-3)
+
+    def test_loaded_fleet_name(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        assert load_fleet_csv(path, name="renamed").name == "renamed"
+
+
+class TestErrors:
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_fleet_csv(path)
+
+    def test_malformed_row_rejected(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        with path.open("a") as handle:
+            handle.write("only,three,cells\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_fleet_csv(path)
+
+    def test_gap_detected(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        lines = path.read_text().splitlines()
+        # Remove one mid-series observation to create a gap.
+        del lines[10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="gaps"):
+            load_fleet_csv(path)
+
+    def test_rows_in_any_order(self, tiny_fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        save_fleet_csv(tiny_fleet, path)
+        lines = path.read_text().splitlines()
+        header, rows = lines[0], lines[1:]
+        rows.reverse()
+        path.write_text("\n".join([header] + rows) + "\n")
+        loaded = load_fleet_csv(path)
+        original_vm = tiny_fleet.boxes[0].vms[0]
+        loaded_box = loaded.box_by_id(tiny_fleet.boxes[0].box_id)
+        loaded_vm = next(vm for vm in loaded_box.vms if vm.vm_id == original_vm.vm_id)
+        assert loaded_vm.cpu_usage == pytest.approx(original_vm.cpu_usage, abs=1e-3)
