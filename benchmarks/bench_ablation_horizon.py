@@ -8,14 +8,35 @@ and a full day, each evaluated on the window immediately after training.
 """
 
 import numpy as np
+import pytest
 
-from repro.benchhelpers import pipeline_fleet, print_table
+from repro.benchhelpers import bench_jobs, pipeline_fleet, print_table
+from repro.core.executor import FleetExecutor
 from repro.prediction import SpatialTemporalConfig, SpatialTemporalPredictor
 from repro.prediction.spatial.signatures import ClusteringMethod, SignatureSearchConfig
 from repro.timeseries.metrics import mean_absolute_percentage_error
 
+pytestmark = pytest.mark.slow
+
 TRAIN_WINDOWS = 5 * 96
 HORIZONS = (8, 24, 48, 96)  # 2h, 6h, 12h, 24h
+
+
+def _box_horizon_apes(box, config):
+    """Per-box APE at each horizon (module-level: runs inside pool workers)."""
+    demands = box.demand_matrix()
+    predictor = SpatialTemporalPredictor(config).fit(demands[:, :TRAIN_WINDOWS])
+    prediction = predictor.predict(max(HORIZONS))
+    out = {}
+    for horizon in HORIZONS:
+        actual = demands[:, TRAIN_WINDOWS : TRAIN_WINDOWS + horizon]
+        apes = [
+            mean_absolute_percentage_error(actual[i], prediction.predictions[i, :horizon])
+            for i in range(actual.shape[0])
+        ]
+        apes = [a for a in apes if np.isfinite(a)]
+        out[horizon] = float(np.mean(apes)) if apes else None
+    return out
 
 
 def _compute():
@@ -24,20 +45,14 @@ def _compute():
         search=SignatureSearchConfig(method=ClusteringMethod.CBC),
         temporal_model="neural",
     )
+    per_box = FleetExecutor(jobs=bench_jobs()).map(
+        _box_horizon_apes, fleet.boxes[:15], config
+    )
     out = {h: [] for h in HORIZONS}
-    for box in fleet.boxes[:15]:
-        demands = box.demand_matrix()
-        predictor = SpatialTemporalPredictor(config).fit(demands[:, :TRAIN_WINDOWS])
-        prediction = predictor.predict(max(HORIZONS))
+    for box_apes in per_box:
         for horizon in HORIZONS:
-            actual = demands[:, TRAIN_WINDOWS : TRAIN_WINDOWS + horizon]
-            apes = [
-                mean_absolute_percentage_error(actual[i], prediction.predictions[i, :horizon])
-                for i in range(actual.shape[0])
-            ]
-            apes = [a for a in apes if np.isfinite(a)]
-            if apes:
-                out[horizon].append(float(np.mean(apes)))
+            if box_apes[horizon] is not None:
+                out[horizon].append(box_apes[horizon])
     return {h: float(np.mean(v)) for h, v in out.items()}
 
 

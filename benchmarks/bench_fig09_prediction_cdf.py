@@ -9,10 +9,13 @@ Paper: mean APE 31% (DTW) / 23% (CBC); peak-only 20% / 17%.
 """
 
 import numpy as np
+import pytest
 
-from repro.benchhelpers import pipeline_fleet, print_series, print_table
+from repro.benchhelpers import bench_jobs, pipeline_fleet, print_series, print_table
 from repro.core import AtmConfig, run_fleet_atm
 from repro.prediction.spatial.signatures import ClusteringMethod
+
+pytestmark = pytest.mark.slow
 
 PAPER = {
     (ClusteringMethod.DTW, False): 31.0,
@@ -25,7 +28,7 @@ PAPER = {
 def _compute():
     fleet = pipeline_fleet(40)
     return {
-        method: run_fleet_atm(fleet, AtmConfig.with_clustering(method))
+        method: run_fleet_atm(fleet, AtmConfig.with_clustering(method), jobs=bench_jobs())
         for method in (ClusteringMethod.DTW, ClusteringMethod.CBC)
     }
 

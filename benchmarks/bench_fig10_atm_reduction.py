@@ -8,11 +8,15 @@ beats CPU ("due to higher RAM provisioning"); max-min fairness degrades
 badly (large std, can *increase* tickets on a subset of boxes).
 """
 
-from repro.benchhelpers import pipeline_fleet, print_table
+import pytest
+
+from repro.benchhelpers import bench_jobs, pipeline_fleet, print_table
 from repro.core import AtmConfig, run_fleet_atm
 from repro.prediction.spatial.signatures import ClusteringMethod
 from repro.resizing.evaluate import ResizingAlgorithm
 from repro.trace.model import Resource
+
+pytestmark = pytest.mark.slow
 
 PAPER = {
     (ResizingAlgorithm.ATM, Resource.CPU): 60.0,
@@ -23,7 +27,7 @@ PAPER = {
 def _compute():
     fleet = pipeline_fleet(40)
     return {
-        method: run_fleet_atm(fleet, AtmConfig.with_clustering(method))
+        method: run_fleet_atm(fleet, AtmConfig.with_clustering(method), jobs=bench_jobs())
         for method in (ClusteringMethod.DTW, ClusteringMethod.CBC)
     }
 

@@ -1,0 +1,91 @@
+"""Parallel fleet execution — wall-clock speedup vs worker count.
+
+Runs the full ATM pipeline (``run_fleet_atm``) on one fig09/fig10-scale
+fleet at several worker counts and reports seconds and speedup relative
+to the serial baseline, verifying along the way that every worker count
+produces numerically identical aggregates (the engine's contract).
+
+The signature cache is cleared before each timed run, so the speedup
+column isolates the process fan-out from the memoization layer.
+
+Speedup obviously requires cores: the ≥3x-at-4-workers target applies to
+a ≥4-core machine.  On fewer cores the bench still validates equivalence
+and reports the (≈1x, or slightly worse) measured ratios; the hard
+speedup assertion is skipped.
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py [--quick]
+        [--boxes N] [--jobs 1,2,4]
+"""
+
+import argparse
+import os
+
+import pytest
+
+from repro.benchhelpers import print_table, quick_scaling_report, scaling_report
+from repro.benchhelpers.fleetcache import pipeline_fleet
+from repro.core import AtmConfig
+from repro.prediction.spatial.signatures import ClusteringMethod
+
+pytestmark = pytest.mark.slow
+
+JOBS = (1, 2, 4)
+TARGET_SPEEDUP = 3.0
+
+
+def _compute(n_boxes: int = 40, jobs_list=JOBS):
+    fleet = pipeline_fleet(n_boxes)
+    config = AtmConfig.with_clustering(ClusteringMethod.CBC)
+    return scaling_report(fleet, jobs_list=jobs_list, config=config)
+
+
+def _print_rows(rows, title: str) -> None:
+    print_table(title, ["jobs", "seconds", "speedup"], rows)
+
+
+def test_parallel_scaling(benchmark):
+    rows, _results = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    _print_rows(rows, "Parallel scaling — full ATM pipeline (CBC, 40 boxes)")
+
+    # Equivalence across worker counts is asserted inside scaling_report.
+    by_jobs = {int(row[0]): row for row in rows}
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert by_jobs[4][2] >= TARGET_SPEEDUP, (
+            f"expected >= {TARGET_SPEEDUP}x at 4 workers on a {cores}-core "
+            f"machine, measured {by_jobs[4][2]:.2f}x"
+        )
+    # Even without cores to scale on, the fan-out must not collapse: pool
+    # overhead stays bounded.
+    assert by_jobs[max(JOBS)][2] > 0.5, "parallel overhead exceeds 2x"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small-fleet smoke run with a cheap temporal model (seconds)",
+    )
+    parser.add_argument("--boxes", type=int, default=40, help="fleet size")
+    parser.add_argument(
+        "--jobs", type=str, default=",".join(str(j) for j in JOBS),
+        help="comma-separated worker counts to sweep",
+    )
+    args = parser.parse_args(argv)
+    jobs_list = tuple(int(j) for j in args.jobs.split(","))
+    if args.quick:
+        rows, _ = quick_scaling_report(n_boxes=6, jobs_list=jobs_list)
+        _print_rows(rows, "Parallel scaling — quick smoke (6 boxes, seasonal_mean)")
+    else:
+        rows, _ = _compute(n_boxes=args.boxes, jobs_list=jobs_list)
+        _print_rows(rows, f"Parallel scaling — full ATM pipeline ({args.boxes} boxes)")
+    print(f"aggregates identical across jobs={list(jobs_list)}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,12 +1,20 @@
 """Shared utilities for the benchmark harness (one bench per paper figure)."""
 
 from repro.benchhelpers.fleetcache import characterization_fleet, pipeline_fleet
+from repro.benchhelpers.scaling import (
+    bench_jobs,
+    quick_scaling_report,
+    scaling_report,
+)
 from repro.benchhelpers.tables import format_row, print_series, print_table
 
 __all__ = [
+    "bench_jobs",
     "characterization_fleet",
     "format_row",
     "pipeline_fleet",
     "print_series",
     "print_table",
+    "quick_scaling_report",
+    "scaling_report",
 ]

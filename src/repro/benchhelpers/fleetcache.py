@@ -3,6 +3,15 @@
 Fleet generation is deterministic in the seed, so benches can share one
 fleet per scale without re-generating it; the cache keeps benchmark wall
 time dominated by the algorithms under study rather than by data synthesis.
+
+The ``lru_cache`` is **per process**.  The parallel execution engine
+(:mod:`repro.core.executor`) therefore never asks a pool worker to look a
+fleet up: the parent resolves the fleet once and ships each worker the
+pickled ``BoxTrace`` objects of its chunk.  A worker calling
+:func:`repro.trace.generator.generate_fleet` would regenerate the whole
+fleet per process — ``tests/core/test_executor.py`` pins this down by
+forbidding generation (``REPRO_FORBID_FLEET_GENERATION``) around a
+parallel run.
 """
 
 from __future__ import annotations

@@ -73,7 +73,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     config = AtmConfig.with_clustering(
         ClusteringMethod(args.method), temporal_model=args.temporal
     )
-    result = run_fleet_atm(fleet, config)
+    result = run_fleet_atm(fleet, config, jobs=args.jobs)
     print_table(
         f"ATM prediction — {args.method} clustering, {args.temporal} temporal model",
         ["metric", "value"],
@@ -106,7 +106,7 @@ def _cmd_resize(args: argparse.Namespace) -> int:
     policy = TicketPolicy(threshold_pct=args.threshold)
     reduction = evaluate_fleet_resizing(
         fleet, policy, tuple(ResizingAlgorithm), eval_windows=96,
-        epsilon_pct=args.epsilon,
+        epsilon_pct=args.epsilon, jobs=args.jobs,
     )
     rows = []
     for algorithm in ResizingAlgorithm:
@@ -178,6 +178,14 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the per-box fan-out "
+        "(default: $REPRO_JOBS or 1 = serial; 0 = all cores)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     predict = sub.add_parser("predict", help="full-ATM prediction + reduction")
     _add_fleet_arguments(predict, days=6)
+    _add_jobs_argument(predict)
     predict.add_argument(
         "--method",
         choices=[m.value for m in ClusteringMethod],
@@ -209,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     resize = sub.add_parser("resize", help="oracle resizing comparison")
     _add_fleet_arguments(resize, days=1)
+    _add_jobs_argument(resize)
     resize.add_argument("--threshold", type=float, default=60.0)
     resize.add_argument("--epsilon", type=float, default=5.0)
     resize.set_defaults(func=_cmd_resize)

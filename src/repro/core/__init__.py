@@ -7,12 +7,14 @@ the co-located VMs with the greedy MCKP algorithm.
 
 * :mod:`repro.core.config` — configuration of the full system.
 * :mod:`repro.core.atm` — the per-box ATM controller.
+* :mod:`repro.core.executor` — parallel fleet execution engine.
 * :mod:`repro.core.pipeline` — fleet-scale evaluation runs (Figs. 9, 10).
 * :mod:`repro.core.results` — result containers and aggregation.
 """
 
 from repro.core.atm import AtmController, BoxAtmResult
 from repro.core.config import AtmConfig
+from repro.core.executor import FleetExecutor, resolve_jobs
 from repro.core.online import OnlineAtmController, OnlineRunResult, run_online_fleet
 from repro.core.pipeline import FleetAtmResult, run_fleet_atm
 from repro.core.results import PredictionAccuracy
@@ -22,9 +24,11 @@ __all__ = [
     "AtmController",
     "BoxAtmResult",
     "FleetAtmResult",
+    "FleetExecutor",
     "OnlineAtmController",
     "OnlineRunResult",
     "PredictionAccuracy",
+    "resolve_jobs",
     "run_fleet_atm",
     "run_online_fleet",
 ]

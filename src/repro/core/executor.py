@@ -1,0 +1,138 @@
+"""Parallel fleet execution engine.
+
+Per-box ATM work is embarrassingly parallel: the paper deploys ATM *per
+box*, and nothing a box's controller computes depends on any other box.
+This module turns that structure into wall-clock speedup by fanning
+per-box work across a :class:`~concurrent.futures.ProcessPoolExecutor`
+with chunked scheduling, while keeping three guarantees:
+
+1. **Deterministic aggregation.**  Results are always returned in the
+   input (box) order, no matter which worker finished first.
+2. **Bit-identical serial fallback.**  ``jobs=1`` (the default, also
+   selectable via ``REPRO_JOBS=1``) runs the exact same per-item function
+   in-process, in order — byte-for-byte the pre-engine behaviour.  The
+   per-box computations themselves are deterministic (every random draw
+   is seeded per fit), so ``jobs=N`` produces numerically identical
+   results; only wall-clock changes.
+3. **Workers never regenerate input data.**  Items (e.g. ``BoxTrace``
+   objects) are pickled and shipped to the workers; helpers that build
+   fleets (``repro.trace.generator``, ``repro.benchhelpers.fleetcache``)
+   are never invoked inside a worker.  See
+   ``REPRO_FORBID_FLEET_GENERATION`` in :mod:`repro.trace.generator` for
+   the enforcement hook the test suite uses.
+
+The number of workers is resolved as: explicit ``jobs`` argument →
+``REPRO_JOBS`` environment variable → 1 (serial).  ``jobs <= 0`` means
+"all available cores".
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["JOBS_ENV_VAR", "FleetExecutor", "resolve_jobs", "default_chunksize"]
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument → ``REPRO_JOBS`` → 1 (serial).
+
+    ``jobs <= 0`` (argument or environment) selects all available cores.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def default_chunksize(n_items: int, jobs: int) -> int:
+    """Chunk size targeting ~4 chunks per worker.
+
+    Small enough that a slow box cannot straggle a whole worker's share,
+    large enough that per-task pickling overhead stays amortized.
+    """
+    if n_items <= 0:
+        return 1
+    return max(1, math.ceil(n_items / (max(1, jobs) * 4)))
+
+
+def _run_chunk(fn: Callable[..., R], items: Sequence[Any], common: tuple) -> List[R]:
+    """Worker entry point: apply ``fn`` to each item of one chunk, in order."""
+    return [fn(item, *common) for item in items]
+
+
+class FleetExecutor:
+    """Maps a per-item function over a fleet's boxes, serially or in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; resolved through :func:`resolve_jobs` (``None`` reads
+        ``REPRO_JOBS``, defaulting to 1 = serial).
+    chunksize:
+        Items per scheduled task; defaults to :func:`default_chunksize`.
+    mp_context:
+        Multiprocessing start method.  Defaults to ``fork`` where available
+        (cheap, inherits loaded modules) and the platform default elsewhere.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+        if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = "fork"
+        self.mp_context = mp_context
+
+    def map(self, fn: Callable[..., R], items: Iterable[T], *common: Any) -> List[R]:
+        """Return ``[fn(item, *common) for item in items]``, possibly in parallel.
+
+        ``fn`` must be a module-level (picklable) callable when ``jobs > 1``.
+        Results keep the input order regardless of worker completion order;
+        a worker exception propagates to the caller.
+        """
+        work = list(items)
+        if self.jobs == 1 or len(work) <= 1:
+            return [fn(item, *common) for item in work]
+
+        chunk = self.chunksize or default_chunksize(len(work), self.jobs)
+        chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
+        workers = min(self.jobs, len(chunks))
+        context = (
+            multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        )
+        results: List[Optional[List[R]]] = [None] * len(chunks)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(_run_chunk, fn, part, common): index
+                for index, part in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+        return [item for part in results for item in part]  # type: ignore[union-attr]

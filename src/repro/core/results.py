@@ -9,6 +9,8 @@ import numpy as np
 
 from repro.timeseries.ecdf import Ecdf
 from repro.timeseries.metrics import (
+    finite_mean,
+    finite_values,
     mean_absolute_percentage_error,
     peak_absolute_percentage_error,
 )
@@ -59,18 +61,16 @@ def accuracy_for_box(
     apes: List[float] = []
     peak_apes: List[float] = []
     for row in range(actual.shape[0]):
-        value = mean_absolute_percentage_error(actual[row], predicted[row])
-        if np.isfinite(value):
-            apes.append(value)
-        peak = peak_absolute_percentage_error(
-            actual[row], predicted[row], peak_threshold=float(peak_thresholds[row])
+        apes.append(mean_absolute_percentage_error(actual[row], predicted[row]))
+        peak_apes.append(
+            peak_absolute_percentage_error(
+                actual[row], predicted[row], peak_threshold=float(peak_thresholds[row])
+            )
         )
-        if np.isfinite(peak):
-            peak_apes.append(peak)
     return PredictionAccuracy(
         box_id=box_id,
-        ape=float(np.mean(apes)) if apes else float("nan"),
-        peak_ape=float(np.mean(peak_apes)) if peak_apes else float("nan"),
+        ape=finite_mean(apes),
+        peak_ape=finite_mean(peak_apes),
         signature_ratio=signature_ratio,
     )
 
@@ -78,7 +78,7 @@ def accuracy_for_box(
 def ape_cdf(accuracies: List[PredictionAccuracy], peak: bool = False) -> Optional[Ecdf]:
     """Build the Fig. 9 CDF across boxes; ``None`` if no finite samples."""
     values = [a.peak_ape if peak else a.ape for a in accuracies]
-    finite = [v for v in values if np.isfinite(v)]
-    if not finite:
+    finite = finite_values(values)
+    if not finite.size:
         return None
     return Ecdf.from_samples(finite)

@@ -84,9 +84,12 @@ def dtw_clusters(
 
     upper = max_clusters if max_clusters is not None else n // 2
     upper = int(np.clip(upper, 2, n))
+    # One incremental replay of the merge sequence yields every candidate
+    # cut; re-cutting from scratch per k made the sweep quadratic.
+    sweep = clustering.cuts(range(2, upper + 1))
     best: Optional[Tuple[float, int, List[int]]] = None
     for k in range(2, upper + 1):
-        labels = clustering.cut(k)
+        labels = sweep[k]
         score = mean_silhouette(distances, labels)
         # Ties prefer fewer clusters (smaller signature set).
         if best is None or score > best[0] + 1e-12:

@@ -35,6 +35,7 @@ from repro.resizing.greedy import solve_greedy
 from repro.resizing.mckp import build_mckp
 from repro.resizing.problem import ResizingProblem, tickets_for_allocation
 from repro.tickets.policy import TicketPolicy
+from repro.timeseries.metrics import finite_mean, finite_std
 from repro.trace.model import BoxTrace, FleetTrace, Resource
 
 __all__ = [
@@ -187,12 +188,10 @@ class FleetReduction:
         return np.asarray(values, dtype=float)
 
     def mean_reduction(self, resource: Resource, algorithm: ResizingAlgorithm) -> float:
-        values = self._reductions(resource, algorithm)
-        return float(values.mean()) if values.size else float("nan")
+        return finite_mean(self._reductions(resource, algorithm))
 
     def std_reduction(self, resource: Resource, algorithm: ResizingAlgorithm) -> float:
-        values = self._reductions(resource, algorithm)
-        return float(values.std()) if values.size else float("nan")
+        return finite_std(self._reductions(resource, algorithm))
 
     def totals(
         self, resource: Resource, algorithm: ResizingAlgorithm
@@ -290,6 +289,35 @@ def evaluate_box_resizing(
     return out
 
 
+def _evaluate_box_worker(
+    item: Tuple[BoxTrace, Dict[Resource, Optional[np.ndarray]]],
+    resources: Sequence[Resource],
+    policy: TicketPolicy,
+    algorithms: Sequence[ResizingAlgorithm],
+    eval_windows: Optional[int],
+    epsilon_pct: float,
+) -> List[BoxReduction]:
+    """Per-box unit of work for the fleet sweep (module-level: picklable)."""
+    box, sizing_by_resource = item
+    out: List[BoxReduction] = []
+    for resource in resources:
+        demands = box.demand_matrix(resource)
+        if eval_windows is not None:
+            demands = demands[:, : min(eval_windows, demands.shape[1])]
+        out.extend(
+            evaluate_box_resizing(
+                box,
+                resource,
+                policy,
+                algorithms,
+                eval_demands=demands,
+                sizing_demands=sizing_by_resource.get(resource),
+                epsilon_pct=epsilon_pct,
+            )
+        )
+    return out
+
+
 def evaluate_fleet_resizing(
     fleet: FleetTrace,
     policy: TicketPolicy,
@@ -298,6 +326,7 @@ def evaluate_fleet_resizing(
     sizing_demands: Optional[Dict[Tuple[str, Resource], np.ndarray]] = None,
     epsilon_pct: float = 5.0,
     resources: Sequence[Resource] = (Resource.CPU, Resource.RAM),
+    jobs: Optional[int] = None,
 ) -> FleetReduction:
     """Run the resizing comparison across a fleet (the Fig. 8 study).
 
@@ -310,24 +339,36 @@ def evaluate_fleet_resizing(
         Optional per ``(box_id, resource)`` demand matrices to size against
         (the prediction-driven Fig. 10 path); by default sizing sees the
         actual evaluation demands.
+    jobs:
+        Worker processes for the per-box fan-out (``None`` reads
+        ``REPRO_JOBS``, default 1 = serial).  Each worker receives the
+        pickled boxes of its chunk plus their sizing matrices; results are
+        aggregated in fleet box order for any worker count.
     """
-    summary = FleetReduction()
+    from repro.core.executor import FleetExecutor
+
+    items = []
     for box in fleet:
-        for resource in resources:
-            demands = box.demand_matrix(resource)
-            if eval_windows is not None:
-                demands = demands[:, : min(eval_windows, demands.shape[1])]
-            sizing = None
-            if sizing_demands is not None:
-                sizing = sizing_demands.get((box.box_id, resource))
-            for result in evaluate_box_resizing(
-                box,
-                resource,
-                policy,
-                algorithms,
-                eval_demands=demands,
-                sizing_demands=sizing,
-                epsilon_pct=epsilon_pct,
-            ):
-                summary.add(result)
+        sizing_by_resource: Dict[Resource, Optional[np.ndarray]] = {}
+        if sizing_demands is not None:
+            for resource in resources:
+                sizing_by_resource[resource] = sizing_demands.get(
+                    (box.box_id, resource)
+                )
+        items.append((box, sizing_by_resource))
+
+    executor = FleetExecutor(jobs=jobs)
+    per_box = executor.map(
+        _evaluate_box_worker,
+        items,
+        tuple(resources),
+        policy,
+        tuple(algorithms),
+        eval_windows,
+        epsilon_pct,
+    )
+    summary = FleetReduction()
+    for results in per_box:
+        for result in results:
+            summary.add(result)
     return summary

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -83,6 +83,7 @@ class HierarchicalClustering:
             raise ValueError("distances must be non-negative")
         self.distances = d
         self.merges = self._build()
+        self._cut_cache: Dict[int, List[int]] = {}
 
     @property
     def n_items(self) -> int:
@@ -145,32 +146,60 @@ class HierarchicalClustering:
         """Return flat cluster labels for a cut producing ``n_clusters`` groups.
 
         Labels are renumbered ``0..n_clusters-1`` in order of first appearance.
+        Cuts are cached per instance; sweeping many cluster counts (the
+        silhouette search) should use :meth:`cuts`, which replays the merge
+        sequence once for all of them.
+        """
+        return self.cuts((n_clusters,))[n_clusters]
+
+    def cuts(self, n_clusters_list: Iterable[int]) -> Dict[int, List[int]]:
+        """Return ``{k: labels}`` for every requested cluster count ``k``.
+
+        All requested cuts are produced in a single incremental replay of the
+        merge sequence (one union-find pass), instead of re-cutting the
+        dendrogram from scratch per ``k`` — the silhouette sweep over
+        ``k = 2..n/2`` drops from O(n^2 · merges) to O(n · merges).
+        Each cut's labels are identical to what a fresh per-``k`` cut yields.
         """
         n = self.n_items
-        if not 1 <= n_clusters <= n:
-            raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
-        # Apply the first (n - n_clusters) merges with a union-find.
-        parent = list(range(n + len(self.merges)))
+        wanted = sorted({int(k) for k in n_clusters_list})
+        for k in wanted:
+            if not 1 <= k <= n:
+                raise ValueError(f"n_clusters must be in [1, {n}], got {k}")
+        missing = {k for k in wanted if k not in self._cut_cache}
+        if missing:
+            parent = list(range(n + len(self.merges)))
 
-        def find(x: int) -> int:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
 
-        for step, merge in enumerate(self.merges[: n - n_clusters]):
-            new_cluster = n + step
-            parent[find(merge.left)] = new_cluster
-            parent[find(merge.right)] = new_cluster
+            def record(k: int) -> None:
+                roots = [find(i) for i in range(n)]
+                relabel: Dict[int, int] = {}
+                labels = []
+                for root in roots:
+                    if root not in relabel:
+                        relabel[root] = len(relabel)
+                    labels.append(relabel[root])
+                self._cut_cache[k] = labels
 
-        roots = [find(i) for i in range(n)]
-        relabel: dict = {}
-        labels = []
-        for root in roots:
-            if root not in relabel:
-                relabel[root] = len(relabel)
-            labels.append(relabel[root])
-        return labels
+            if n in missing:
+                record(n)
+            remaining = n
+            stop_at = min(missing)
+            for step, merge in enumerate(self.merges):
+                if remaining <= stop_at:
+                    break
+                new_cluster = n + step
+                parent[find(merge.left)] = new_cluster
+                parent[find(merge.right)] = new_cluster
+                remaining -= 1
+                if remaining in missing:
+                    record(remaining)
+        return {k: list(self._cut_cache[k]) for k in wanted}
 
     def merge_heights(self) -> List[float]:
         """Return the sequence of merge heights (non-decreasing for average linkage)."""

@@ -18,6 +18,9 @@ import numpy as np
 
 __all__ = [
     "absolute_percentage_errors",
+    "finite_mean",
+    "finite_std",
+    "finite_values",
     "mean_absolute_percentage_error",
     "peak_absolute_percentage_error",
     "root_mean_squared_error",
@@ -26,6 +29,29 @@ __all__ = [
 ]
 
 _EPS = 1e-9
+
+
+def finite_values(values: Sequence[float]) -> np.ndarray:
+    """Return the finite entries of ``values`` as a float array.
+
+    Degenerate boxes legitimately produce ``nan`` metrics (no peaks, no
+    tickets, all-zero demand); every fleet-level aggregate drops them the
+    same way through this helper.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    return arr[np.isfinite(arr)]
+
+
+def finite_mean(values: Sequence[float]) -> float:
+    """Mean over the finite entries; ``nan`` when none are finite."""
+    finite = finite_values(values)
+    return float(finite.mean()) if finite.size else float("nan")
+
+
+def finite_std(values: Sequence[float]) -> float:
+    """Population std over the finite entries; ``nan`` when none are finite."""
+    finite = finite_values(values)
+    return float(finite.std()) if finite.size else float("nan")
 
 
 def _pair(actual: Sequence[float], predicted: Sequence[float]):

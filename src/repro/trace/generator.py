@@ -26,6 +26,7 @@ reproducible from ``FleetConfig.seed``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -34,7 +35,14 @@ import numpy as np
 from repro.trace.model import BoxTrace, FleetTrace, VMTrace
 from repro.trace.workloads import ar1_noise, bursts, diurnal
 
-__all__ = ["FleetConfig", "generate_fleet", "generate_box"]
+__all__ = ["FleetConfig", "FORBID_GENERATION_ENV_VAR", "generate_fleet", "generate_box"]
+
+#: When set (to anything but ``""``/``0``), :func:`generate_fleet` raises.
+#: The parallel execution engine ships pickled ``BoxTrace`` objects to its
+#: pool workers; a worker that falls back to regenerating a fleet would
+#: silently multiply the dominant data-synthesis cost by the worker count.
+#: Tests set this variable around parallel runs to prove workers never do.
+FORBID_GENERATION_ENV_VAR = "REPRO_FORBID_FLEET_GENERATION"
 
 
 @dataclass(frozen=True)
@@ -433,6 +441,12 @@ def generate_box(
 
 def generate_fleet(cfg: Optional[FleetConfig] = None, name: str = "synthetic") -> FleetTrace:
     """Generate a full fleet trace from a :class:`FleetConfig`."""
+    if os.environ.get(FORBID_GENERATION_ENV_VAR, "").strip() not in ("", "0"):
+        raise RuntimeError(
+            f"fleet generation is forbidden ({FORBID_GENERATION_ENV_VAR} is set): "
+            "pool workers must operate on pickled BoxTrace objects shipped from "
+            "the parent process, never regenerate fleets"
+        )
     cfg = cfg or FleetConfig()
     boxes = [generate_box(b, cfg) for b in range(cfg.n_boxes)]
     return FleetTrace(boxes=boxes, name=name)

@@ -84,3 +84,47 @@ class TestAccuracyForBox:
         assert ape_cdf(accs).values.tolist() == [10.0, 20.0]
         assert ape_cdf(accs, peak=True).values.tolist() == [5.0]
         assert ape_cdf([PredictionAccuracy("c", float("nan"), float("nan"), 1.0)]) is None
+
+
+class TestNanNormalization:
+    """Fleet aggregates drop non-finite per-box metrics uniformly."""
+
+    @staticmethod
+    def _result_with(accuracies):
+        from repro.core.pipeline import FleetAtmResult
+
+        result = FleetAtmResult(config=AtmConfig())
+        result.accuracies.extend(accuracies)
+        return result
+
+    def test_all_nan_box_ignored_everywhere(self):
+        nan = float("nan")
+        healthy = PredictionAccuracy("a", 10.0, 20.0, 0.5)
+        degenerate = PredictionAccuracy("b", nan, nan, nan)
+        result = self._result_with([healthy, degenerate])
+        assert result.mean_ape() == pytest.approx(10.0)
+        assert result.mean_ape(peak=True) == pytest.approx(20.0)
+        assert result.mean_signature_ratio() == pytest.approx(0.5)
+        assert result.ape_cdf().values.tolist() == [10.0]
+
+    def test_fleet_of_only_nan_boxes(self):
+        nan = float("nan")
+        result = self._result_with([PredictionAccuracy("a", nan, nan, nan)])
+        assert np.isnan(result.mean_ape())
+        assert np.isnan(result.mean_ape(peak=True))
+        assert np.isnan(result.mean_signature_ratio())
+        assert result.ape_cdf() is None
+
+    def test_signature_ratio_matches_ape_filtering(self):
+        # The historical bug: mean_ape filtered non-finite values but
+        # mean_signature_ratio averaged nan straight in, poisoning the mean.
+        nan = float("nan")
+        result = self._result_with(
+            [
+                PredictionAccuracy("a", 10.0, 10.0, 0.4),
+                PredictionAccuracy("b", nan, nan, nan),
+                PredictionAccuracy("c", 30.0, 30.0, 0.8),
+            ]
+        )
+        assert np.isfinite(result.mean_signature_ratio())
+        assert result.mean_signature_ratio() == pytest.approx(0.6)

@@ -69,3 +69,35 @@ class TestDtwClusters:
         unbanded = dtw_clusters(series, window=None)
         banded = dtw_clusters(series, window=8)
         assert unbanded.labels == banded.labels
+
+
+class TestSilhouetteSweepRegression:
+    """The incremental-cut sweep must choose the same k as a scratch sweep."""
+
+    def test_chosen_k_unchanged(self, rng):
+        # Three shape families + noise: a non-trivial silhouette landscape.
+        t = np.linspace(0, 6, 80)
+        series = []
+        for family in (np.sin(t), np.cos(t), t / 6.0):
+            for _ in range(4):
+                series.append(family + 0.05 * rng.normal(size=t.size))
+        data = np.asarray(series)
+
+        result = dtw_clusters(data, window=8, zscore=True)
+
+        # Reference: the pre-incremental algorithm — an independent cut per k.
+        from repro.timeseries.clustering import HierarchicalClustering
+        from repro.timeseries.dtw import dtw_distance_matrix
+        from repro.timeseries.silhouette import mean_silhouette
+
+        distances = dtw_distance_matrix(data, window=8, zscore=True)
+        best = None
+        for k in range(2, data.shape[0] // 2 + 1):
+            labels = HierarchicalClustering(distances).cut(k)
+            score = mean_silhouette(distances, labels)
+            if best is None or score > best[0] + 1e-12:
+                best = (score, k, labels)
+
+        assert result.n_clusters == best[1]
+        assert result.silhouette == pytest.approx(best[0])
+        assert list(result.labels) == best[2]

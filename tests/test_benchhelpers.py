@@ -39,3 +39,31 @@ class TestFleetCache:
 
     def test_different_scales_different_fleets(self):
         assert characterization_fleet(10) is not characterization_fleet(11)
+
+
+class TestScalingHelpers:
+    def test_bench_jobs_follows_env(self, monkeypatch):
+        from repro.benchhelpers import bench_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert bench_jobs() == 2
+        monkeypatch.delenv("REPRO_JOBS")
+        assert bench_jobs() == 1
+
+    def test_quick_scaling_report_smoke(self):
+        # The --quick mode of benchmarks/bench_parallel_scaling.py, wired in
+        # here so the fast suite exercises the full scaling harness end to
+        # end (timing, speedup math, and the equivalence assertion).
+        from repro.benchhelpers import quick_scaling_report
+
+        rows, results = quick_scaling_report(n_boxes=4, jobs_list=(1, 2))
+        assert [int(row[0]) for row in rows] == [1, 2]
+        assert all(row[1] > 0 for row in rows)
+        assert rows[0][2] == 1.0  # baseline speedup is exactly 1x
+        assert len(results) == 2
+
+    def test_fingerprint_nan_safe(self):
+        from repro.benchhelpers.scaling import _nan_safe
+
+        assert _nan_safe(float("nan")) == "nan"
+        assert _nan_safe(1.5) == 1.5

@@ -57,3 +57,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MediaWiki testbed" in out
         assert "wiki-two" in out
+
+
+class TestJobsFlag:
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(["predict", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["resize", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_jobs_defaults_to_none(self):
+        # None -> resolve_jobs falls back to $REPRO_JOBS, then serial.
+        assert build_parser().parse_args(["predict"]).jobs is None
+        assert build_parser().parse_args(["resize"]).jobs is None
+
+    def test_predict_with_parallel_jobs(self, capsys):
+        code = main(
+            [
+                "predict",
+                "--boxes", "3",
+                "--seed", "3",
+                "--method", "cbc",
+                "--temporal", "seasonal_mean",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "mean APE" in capsys.readouterr().out
+
+    def test_resize_with_parallel_jobs(self, capsys):
+        assert main(["resize", "--boxes", "4", "--seed", "3", "--jobs", "2"]) == 0
+        assert "stingy" in capsys.readouterr().out

@@ -129,3 +129,66 @@ class TestClustersAsLists:
 
     def test_empty(self):
         assert clusters_as_lists([]) == []
+
+
+class TestIncrementalCuts:
+    """cuts() replays the merges once; every cut must equal a scratch cut."""
+
+    @staticmethod
+    def _reference_cut(clustering, n_clusters):
+        """Independent per-k union-find replay (the pre-incremental algorithm)."""
+        n = clustering.n_items
+        parent = list(range(n + len(clustering.merges)))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for step, merge in enumerate(clustering.merges[: n - n_clusters]):
+            parent[find(merge.left)] = n + step
+            parent[find(merge.right)] = n + step
+        roots = [find(i) for i in range(n)]
+        relabel, labels = {}, []
+        for root in roots:
+            if root not in relabel:
+                relabel[root] = len(relabel)
+            labels.append(relabel[root])
+        return labels
+
+    @pytest.mark.parametrize("linkage", list(Linkage))
+    def test_cuts_match_reference_for_every_k(self, rng, linkage):
+        d = random_distance_matrix(rng, 12)
+        hc = HierarchicalClustering(d, linkage=linkage)
+        sweep = hc.cuts(range(1, 13))
+        for k in range(1, 13):
+            assert sweep[k] == self._reference_cut(hc, k), f"k={k}"
+
+    def test_cut_uses_cache(self, rng):
+        d = random_distance_matrix(rng, 8)
+        hc = HierarchicalClustering(d)
+        first = hc.cut(3)
+        assert 3 in hc._cut_cache
+        second = hc.cut(3)
+        assert second == first
+        assert second is not first  # callers get a private copy
+
+    def test_cuts_returns_copies(self, rng):
+        d = random_distance_matrix(rng, 6)
+        hc = HierarchicalClustering(d)
+        labels = hc.cuts([2])[2]
+        labels[0] = 99
+        assert hc.cuts([2])[2][0] != 99
+
+    def test_cuts_validates_range(self, rng):
+        d = random_distance_matrix(rng, 5)
+        hc = HierarchicalClustering(d)
+        with pytest.raises(ValueError):
+            hc.cuts([0])
+        with pytest.raises(ValueError):
+            hc.cuts([6])
+
+    def test_singleton_cut(self):
+        hc = HierarchicalClustering(np.zeros((1, 1)))
+        assert hc.cut(1) == [0]

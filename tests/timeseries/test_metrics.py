@@ -87,3 +87,28 @@ class TestOtherMetrics:
     def test_rmse_zero_for_exact(self, rng):
         a = rng.normal(size=10)
         assert root_mean_squared_error(a, a) == 0.0
+
+
+class TestFiniteAggregates:
+    def test_finite_mean_filters(self):
+        from repro.timeseries.metrics import finite_mean
+
+        assert finite_mean([1.0, float("nan"), 3.0, float("inf")]) == 2.0
+
+    def test_finite_mean_empty_and_all_nan(self):
+        from repro.timeseries.metrics import finite_mean
+
+        assert np.isnan(finite_mean([]))
+        assert np.isnan(finite_mean([float("nan")]))
+
+    def test_finite_std(self):
+        from repro.timeseries.metrics import finite_std
+
+        assert finite_std([1.0, float("nan"), 3.0]) == 1.0
+        assert np.isnan(finite_std([float("nan")]))
+
+    def test_finite_values_returns_array(self):
+        from repro.timeseries.metrics import finite_values
+
+        out = finite_values([1.0, float("-inf"), 2.0])
+        assert out.tolist() == [1.0, 2.0]
