@@ -1,10 +1,13 @@
 """The full ATM spatial-temporal predictor for one box.
 
 Fitting: run the signature search on the training matrix, then fit one
-temporal model per signature series.  Predicting: forecast the signatures
-temporally, then reconstruct every dependent series through its spatial
-(linear) model — the expensive temporal machinery runs only on the reduced
-signature set, which is the paper's entire scalability argument.
+temporal model per signature series — handed to the model's batched
+multi-series kernel in one call when it has one (the neural default does;
+``REPRO_BATCHED_TEMPORAL=0`` forces the per-series loop).  Predicting:
+forecast the signatures temporally, then reconstruct every dependent series
+through its spatial (linear) model — the expensive temporal machinery runs
+only on the reduced signature set, which is the paper's entire scalability
+argument.
 """
 
 from __future__ import annotations
@@ -15,7 +18,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.prediction.base import TemporalPredictor
-from repro.prediction.registry import make_temporal_model
+from repro.prediction.registry import fit_temporal_batch, make_temporal_model
+from repro.prediction.temporal.batched import batched_temporal_enabled
 from repro.prediction.spatial.signatures import (
     SignatureSearchConfig,
     SpatialModel,
@@ -97,10 +101,24 @@ class SpatialTemporalPredictor:
         if arr.ndim != 2:
             raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
         spatial = search_signature_set(arr, self.config.search)
-        temporal: Dict[int, TemporalPredictor] = {}
-        for idx in spatial.signature_indices:
-            model = make_temporal_model(self.config.temporal_model, period=self.config.period)
-            temporal[idx] = model.fit(arr[idx])
+        indices = list(spatial.signature_indices)
+        fitted = None
+        if indices and batched_temporal_enabled():
+            # One vectorized pass over all signature series of the box
+            # (REPRO_BATCHED_TEMPORAL=0 forces the per-series loop below).
+            fitted = fit_temporal_batch(
+                self.config.temporal_model,
+                [arr[idx] for idx in indices],
+                period=self.config.period,
+            )
+        if fitted is None:
+            fitted = [
+                make_temporal_model(
+                    self.config.temporal_model, period=self.config.period
+                ).fit(arr[idx])
+                for idx in indices
+            ]
+        temporal: Dict[int, TemporalPredictor] = dict(zip(indices, fitted))
         self._spatial = spatial
         self._temporal = temporal
         self._train = arr

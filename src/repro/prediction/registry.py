@@ -4,11 +4,17 @@ The paper stresses that "any temporal prediction model can be directly
 plugged into the ATM framework"; this registry is that plug point.  Core
 configs reference temporal models by name so experiments can swap the
 signature predictor without code changes.
+
+Models that ship a batched multi-series training kernel also register a
+*batch fitter* here; :func:`fit_temporal_batch` is how the combined
+predictor hands all signature series of a box to one vectorized fit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.prediction.base import TemporalPredictor
 from repro.prediction.temporal import (
@@ -21,9 +27,15 @@ from repro.prediction.temporal import (
     NeuralNetPredictor,
     SeasonalMeanPredictor,
     SeasonalNaivePredictor,
+    fit_neural_batch,
 )
 
-__all__ = ["available_temporal_models", "make_temporal_model"]
+__all__ = [
+    "available_temporal_models",
+    "fit_temporal_batch",
+    "has_batch_fitter",
+    "make_temporal_model",
+]
 
 _FACTORIES: Dict[str, Callable[[int], TemporalPredictor]] = {
     "last_value": lambda period: LastValuePredictor(),
@@ -59,3 +71,33 @@ def make_temporal_model(name: str, period: int = 96) -> TemporalPredictor:
             f"unknown temporal model {name!r}; available: {available_temporal_models()}"
         ) from None
     return factory(period)
+
+
+_BATCH_FITTERS: Dict[
+    str, Callable[[Sequence[np.ndarray], int], List[TemporalPredictor]]
+] = {
+    "neural": lambda histories, period: list(
+        fit_neural_batch(histories, MlpConfig(period=period))
+    ),
+}
+
+
+def has_batch_fitter(name: str) -> bool:
+    """Whether :func:`fit_temporal_batch` supports this model name."""
+    return name in _BATCH_FITTERS
+
+
+def fit_temporal_batch(
+    name: str, histories: Sequence[np.ndarray], period: int = 96
+) -> Optional[List[TemporalPredictor]]:
+    """Fit every history with ``name``'s batched kernel, in input order.
+
+    Returns ``None`` when the model has no batched fitter — callers fall
+    back to per-series :func:`make_temporal_model` + ``fit`` loops.  Fitted
+    models are equivalent to the per-series path (bit-identical for
+    "neural"; pinned by the batched equivalence test suite).
+    """
+    fitter = _BATCH_FITTERS.get(name)
+    if fitter is None:
+        return None
+    return fitter(list(histories), period)

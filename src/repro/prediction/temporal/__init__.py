@@ -14,9 +14,19 @@ implements that spectrum from scratch:
   triple exponential smoothing.
 * :mod:`repro.prediction.temporal.neural` — a NumPy multi-layer perceptron
   over seasonal-lag and time-of-day features (the ATM default).
+* :mod:`repro.prediction.temporal.batched` — the batched training kernel
+  that fits all of a box's signature MLPs in one vectorized pass
+  (``REPRO_BATCHED_TEMPORAL=0`` falls back to per-series fits).
+* :mod:`repro.prediction.temporal.seasonal` — the shared vectorized
+  slot-mean / seasonal-lag feature pipeline.
 """
 
 from repro.prediction.temporal.ar import AutoRegressivePredictor
+from repro.prediction.temporal.batched import (
+    BATCHED_ENV_VAR,
+    batched_temporal_enabled,
+    fit_neural_batch,
+)
 from repro.prediction.temporal.arima import ArimaPredictor
 from repro.prediction.temporal.holtwinters import HoltWintersPredictor
 from repro.prediction.temporal.naive import (
@@ -28,6 +38,7 @@ from repro.prediction.temporal.naive import (
 from repro.prediction.temporal.neural import MlpConfig, NeuralNetPredictor
 
 __all__ = [
+    "BATCHED_ENV_VAR",
     "ArimaPredictor",
     "AutoRegressivePredictor",
     "HoltWintersPredictor",
@@ -37,4 +48,6 @@ __all__ = [
     "NeuralNetPredictor",
     "SeasonalMeanPredictor",
     "SeasonalNaivePredictor",
+    "batched_temporal_enabled",
+    "fit_neural_batch",
 ]

@@ -1,0 +1,347 @@
+"""Batched MLP training kernel: all signature models of a box in one pass.
+
+A box's ATM fit trains one small MLP per signature series — many identical
+tiny models over equally shaped data.  Fitting them one by one spends most
+of the wall-clock in Python dispatch (hundreds of numpy calls per model per
+epoch on 64×9 matrices).  This module stacks the K models along a leading
+axis and runs forward, backprop and Adam as 3-D ``np.matmul`` tensor ops:
+one Python-level training loop for the whole batch instead of K.
+
+Equivalence to the serial path is exact, not approximate:
+
+* Every series uses the same ``MlpConfig.seed``, so the K serial RNG
+  streams are identical; drawing the validation split, weight init and
+  per-epoch shuffles once from a single generator reproduces each stream.
+* Batched ``np.matmul``/reductions apply the same BLAS/pairwise kernels
+  per stacked slice as the 2-D serial ops, so every float op sees the same
+  operands in the same order (pinned by
+  ``tests/prediction/test_batched_temporal.py``, which asserts
+  bit-identical forecasts).
+* Early stopping is per-model via a convergence mask: a model whose
+  validation loss stalls for ``patience`` epochs leaves the stack exactly
+  when its serial twin would break out of the loop, and the batch compacts
+  to the survivors — total training work equals the serial path's, with
+  the Python dispatch overhead divided by the stack width.  Each model's
+  result is its best-validation snapshot, matching
+  ``net.restore(best_state)`` serially.
+* A shared Adam step counter is valid because a *live* model's step count
+  always equals the global one; converged models take no further steps.
+
+Histories of different lengths are grouped and each equal-length group is
+batched (within a box all signature series share the training window, so
+this is one group in practice).
+
+Set ``REPRO_BATCHED_TEMPORAL=0`` to fall back to per-series serial fits
+everywhere the kernel is threaded (``SpatialTemporalPredictor`` → the whole
+fig09/fig10 pipeline).  The kernel composes with the process-level
+``FleetExecutor`` (PR 1) multiplicatively: processes fan out over boxes,
+the batch axis vectorizes within a box.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.prediction.base import validate_history
+from repro.prediction.temporal.neural import MlpConfig, NeuralNetPredictor, _Mlp
+from repro.prediction.temporal.seasonal import (
+    phase_aligned_slot_means_batch,
+    seasonal_feature_matrix_batch,
+)
+
+__all__ = ["BATCHED_ENV_VAR", "batched_temporal_enabled", "fit_neural_batch"]
+
+#: Environment variable gating the batched kernel (default: enabled).
+BATCHED_ENV_VAR = "REPRO_BATCHED_TEMPORAL"
+
+_ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS = 0.9, 0.999, 1e-8
+
+
+def batched_temporal_enabled() -> bool:
+    """Whether the batched kernel is enabled (``REPRO_BATCHED_TEMPORAL``)."""
+    raw = os.environ.get(BATCHED_ENV_VAR, "1").strip().lower() or "1"
+    return raw not in {"0", "false", "off", "no"}
+
+
+def fit_neural_batch(
+    histories: Sequence[Sequence[float]], config: Optional[MlpConfig] = None
+) -> List[NeuralNetPredictor]:
+    """Fit one :class:`NeuralNetPredictor` per history in a vectorized pass.
+
+    Returns fitted predictors in input order, each bit-identical to
+    ``NeuralNetPredictor(config).fit(history)``.  Histories of equal length
+    are trained together; distinct lengths form separate batches.
+    """
+    cfg = config or MlpConfig()
+    arrs = [validate_history(h, minimum=cfg.period + 2) for h in histories]
+    fitted: List[Optional[NeuralNetPredictor]] = [None] * len(arrs)
+    groups: dict = {}
+    for pos, arr in enumerate(arrs):
+        groups.setdefault(arr.size, []).append(pos)
+    for positions in groups.values():
+        if len(positions) == 1:
+            # Degenerate one-model batch: the serial fit is the same math
+            # with less per-op overhead (the 3-D kernel only pays off at
+            # stack width >= 2).
+            pos = positions[0]
+            fitted[pos] = NeuralNetPredictor(cfg).fit(arrs[pos])
+            continue
+        stack = np.stack([arrs[pos] for pos in positions])
+        for pos, model in zip(positions, _fit_equal_length(stack, cfg)):
+            fitted[pos] = model
+    return fitted  # type: ignore[return-value]
+
+
+class _BatchedMlp:
+    """K stacked MLPs trained in lock-step with 3-D tensor ops.
+
+    All parameters of one model live in a single contiguous row of a
+    ``(K, P)`` buffer; per-layer weight/bias tensors are strided *views*
+    into it.  The layout makes the Adam update a handful of whole-buffer
+    elementwise ops instead of one op set per layer — elementwise math is
+    layout-independent, so every parameter still sees the exact serial
+    float sequence.
+    """
+
+    def __init__(self, n_models: int, sizes: Sequence[int], rng: np.random.Generator):
+        self.n_models = n_models
+        # Weights of all layers first, biases after: the L2 gradient term
+        # touches exactly params[:, :w_total] as one contiguous slice.
+        self._layers: List[Tuple[int, int, int, int]] = []  # (w_off, b_off, in, out)
+        w_offset = sum(i * o for i, o in zip(sizes[:-1], sizes[1:]))
+        self._w_total = w_offset
+        b_offset = w_offset
+        w_offset = 0
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            self._layers.append((w_offset, b_offset, fan_in, fan_out))
+            w_offset += fan_in * fan_out
+            b_offset += fan_out
+        self._n_params = b_offset
+
+        self.params = np.empty((n_models, self._n_params))
+        self.grads = np.empty((n_models, self._n_params))
+        self._build_views()
+
+        for w, b in zip(self.weights, self.biases):
+            fan_in = w.shape[1]
+            scale = np.sqrt(2.0 / fan_in)  # He init, drawn once: seeds are shared
+            w[:] = rng.normal(0.0, scale, size=w.shape[1:])[None]
+            b[:] = 0.0
+        self._adam_m = np.zeros((n_models, self._n_params))
+        self._adam_v = np.zeros((n_models, self._n_params))
+        self._adam_t = 0
+
+    def _build_views(self) -> None:
+        """Per-layer weight/bias tensors as strided views into the buffers."""
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        self._grads_w: List[np.ndarray] = []
+        self._grads_b: List[np.ndarray] = []
+        for w_off, b_off, fan_in, fan_out in self._layers:
+            w_end, b_end = w_off + fan_in * fan_out, b_off + fan_out
+            self.weights.append(self.params[:, w_off:w_end].reshape(-1, fan_in, fan_out))
+            self.biases.append(self.params[:, b_off:b_end].reshape(-1, 1, fan_out))
+            self._grads_w.append(self.grads[:, w_off:w_end].reshape(-1, fan_in, fan_out))
+            self._grads_b.append(self.grads[:, b_off:b_end].reshape(-1, 1, fan_out))
+
+    def forward(self, x: np.ndarray, with_masks: bool = True):
+        """Forward pass over ``x`` of shape (K, n, d).
+
+        Returns output, per-layer activations and the ReLU masks (reused by
+        backprop instead of re-deriving ``acts > 0``; post-ReLU positivity
+        equals pre-ReLU positivity, so the bits match the serial path).
+        All elementwise steps run in place on the matmul result — fewer
+        temporaries, identical float-op order.
+        """
+        activations = [x]
+        masks = []
+        out = x
+        last = len(self.weights) - 1
+        for idx, (w, b) in enumerate(zip(self.weights, self.biases)):
+            out = np.matmul(out, w)
+            out += b
+            if idx != last:
+                np.maximum(out, 0.0, out=out)  # ReLU
+                if with_masks:
+                    masks.append(out > 0)
+            activations.append(out)
+        return out, activations, masks
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, with_masks=False)[0]
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray, lr: float, l2: float) -> None:
+        """One minibatch step for all K models (same rows for each model)."""
+        out, acts, masks = self.forward(x)
+        delta = out - y  # dMSE/dout, per model: 2 * (out - y) / n
+        delta *= 2.0
+        delta /= x.shape[1]
+        for idx in range(len(self.weights) - 1, -1, -1):
+            np.matmul(acts[idx].transpose(0, 2, 1), delta, out=self._grads_w[idx])
+            # np.add.reduce == ndarray.sum minus the Python method wrapper.
+            np.add.reduce(delta, axis=1, keepdims=True, out=self._grads_b[idx])
+            if idx > 0:
+                delta = np.matmul(delta, self.weights[idx].transpose(0, 2, 1))
+                delta *= masks[idx - 1]  # ReLU gradient
+        # L2 term for every weight (not bias) in one slice op; elementwise,
+        # so the per-parameter float sequence matches the serial
+        # ``acts.T @ delta + l2 * w``.
+        self.grads[:, : self._w_total] += l2 * self.params[:, : self._w_total]
+        self._adam_step(lr)
+
+    def _adam_step(self, lr: float) -> None:
+        """Adam over the whole flat parameter buffer in one op sequence.
+
+        Mirrors the serial per-parameter update exactly (same expressions,
+        in-place where the op order is unchanged); operating on the
+        concatenated buffer only changes how the elementwise work is
+        chunked, not any individual float op.
+        """
+        self._adam_t += 1
+        c1 = 1 - _ADAM_BETA1**self._adam_t
+        c2 = 1 - _ADAM_BETA2**self._adam_t
+        grad, m, v = self.grads, self._adam_m, self._adam_v
+        m *= _ADAM_BETA1  # m = beta1 * m + (1 - beta1) * grad
+        grad_m = grad * (1 - _ADAM_BETA1)
+        m += grad_m
+        v *= _ADAM_BETA2  # v = beta2 * v + ((1 - beta2) * grad) * grad
+        grad_v = grad * (1 - _ADAM_BETA2)
+        grad_v *= grad
+        v += grad_v
+        step = m / c1  # lr * m_hat / (sqrt(v_hat) + eps)
+        step *= lr
+        denom = v / c2
+        np.sqrt(denom, out=denom)
+        denom += _ADAM_EPS
+        step /= denom
+        self.params -= step
+
+    def snapshot(self) -> np.ndarray:
+        return self.params.copy()
+
+    def copy_models_into(
+        self, dest: np.ndarray, dest_rows: np.ndarray, stack_rows: np.ndarray
+    ) -> None:
+        """Copy current params of stack rows into ``dest`` at ``dest_rows``."""
+        dest[dest_rows] = self.params[stack_rows]
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop converged models from the stack (boolean ``keep`` mask).
+
+        Per-slice tensor ops are independent, so shrinking the leading axis
+        leaves the surviving models' float streams untouched; the dropped
+        models' best snapshots were taken before they froze.
+        """
+        self.n_models = int(keep.sum())
+        self.params = self.params[keep]
+        self.grads = np.empty_like(self.params)
+        self._adam_m = self._adam_m[keep]
+        self._adam_v = self._adam_v[keep]
+        self._build_views()
+
+    def extract_model(self, snapshot: np.ndarray, index: int) -> _Mlp:
+        """Serial :class:`_Mlp` for model ``index`` from a params snapshot."""
+        row = snapshot[index]
+        weights, biases = [], []
+        for w_off, b_off, fan_in, fan_out in self._layers:
+            weights.append(row[w_off : w_off + fan_in * fan_out].reshape(fan_in, fan_out))
+            biases.append(row[b_off : b_off + fan_out])
+        return _Mlp.from_params(weights, biases)
+
+
+def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredictor]:
+    """Train the K models of one equal-length batch; mirrors serial ``fit``."""
+    n_models, size = matrix.shape
+    period = cfg.period
+    depth = min(cfg.seasonal_depth, max(1, size // period - 1))
+    slot_means = phase_aligned_slot_means_batch(matrix, period)
+
+    start = depth * period
+    if start >= size:
+        start = period
+    t_indices = np.arange(start, size)
+    features = seasonal_feature_matrix_batch(matrix, t_indices, depth, period, slot_means)
+    target_rows = matrix[:, t_indices]  # (K, n)
+    targets = target_rows[:, :, None]
+
+    x_mean = features.mean(axis=1)  # (K, d)
+    x_std = features.std(axis=1)
+    x_std[x_std < 1e-9] = 1.0
+    # Scalar y stats per model as flat 1-D reductions: numpy's inner-axis
+    # 2-D reduction sums in a different order than the serial path's flat
+    # ``targets.mean()``, so a vectorized mean here would drift in the last
+    # ulp.  K scalar reductions per fit are free.
+    y_mean = np.array([float(row.mean()) for row in target_rows])
+    y_std = np.array([float(row.std()) or 1.0 for row in target_rows])
+    x = (features - x_mean[:, None, :]) / x_std[:, None, :]
+    y = (targets - y_mean[:, None, None]) / y_std[:, None, None]
+
+    # One generator stands in for all K per-series generators: every serial
+    # fit seeds identically, so the streams coincide draw for draw.
+    rng = np.random.default_rng(cfg.seed)
+    n_rows = x.shape[1]
+    order = rng.permutation(n_rows)
+    n_val = max(1, int(cfg.validation_fraction * n_rows))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    if train_idx.size == 0:
+        train_idx = val_idx
+    x_train, y_train = x[:, train_idx], y[:, train_idx]
+    x_val, y_val = x[:, val_idx], y[:, val_idx]
+
+    sizes = [x.shape[2], *cfg.hidden_layers, 1]
+    net = _BatchedMlp(n_models, sizes, rng)
+    best_state = net.snapshot()  # indexed by original model position
+    best_val = np.full(n_models, np.inf)
+    stale = np.zeros(n_models, dtype=int)
+    epochs_run = np.zeros(n_models, dtype=int)
+    # Models still training, as original positions into the (shrinking) stack.
+    live = np.arange(n_models)
+    for _ in range(cfg.max_epochs):
+        if live.size == 0:
+            break
+        perm = rng.permutation(x_train.shape[1])
+        x_epoch, y_epoch = x_train[:, perm], y_train[:, perm]  # one gather per epoch
+        for lo in range(0, perm.size, cfg.batch_size):
+            hi = lo + cfg.batch_size
+            net.train_batch(
+                x_epoch[:, lo:hi], y_epoch[:, lo:hi], cfg.learning_rate, cfg.l2
+            )
+        squared = (net.predict(x_val) - y_val) ** 2
+        val_loss = np.array(  # flat per-model reductions: see y_mean note
+            [float(row.mean()) for row in squared.reshape(live.size, -1)]
+        )
+        epochs_run[live] += 1
+        improved = val_loss < best_val[live] - 1e-6
+        if improved.any():
+            net.copy_models_into(best_state, live[improved], np.flatnonzero(improved))
+            best_val[live[improved]] = val_loss[improved]
+            stale[live[improved]] = 0
+        stale[live[~improved]] += 1
+        frozen = stale[live] >= cfg.patience
+        if frozen.any():
+            # Converged models leave the tensor stack — the batch narrows to
+            # exactly the work the serial path would still be doing.
+            keep = ~frozen
+            live = live[keep]
+            net.compact(keep)
+            x_train, y_train = x_train[keep], y_train[keep]
+            x_val, y_val = x_val[keep], y_val[keep]
+
+    return [
+        NeuralNetPredictor._from_batch_state(
+            config=cfg,
+            history=matrix[index].copy(),
+            net=net.extract_model(best_state, index),
+            depth=depth,
+            slot_mean_vec=slot_means[index].copy(),
+            x_mean=x_mean[index].copy(),
+            x_std=x_std[index].copy(),
+            y_mean=float(y_mean[index]),
+            y_std=float(y_std[index]),
+            fit_epochs=int(epochs_run[index]),
+        )
+        for index in range(n_models)
+    ]

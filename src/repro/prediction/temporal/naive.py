@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.prediction.base import TemporalPredictor, validate_history, validate_horizon
+from repro.prediction.temporal.seasonal import phase_aligned_slot_means
 
 __all__ = [
     "LastValuePredictor",
@@ -99,15 +100,7 @@ class SeasonalMeanPredictor(TemporalPredictor):
         self._history = arr
         # Phase-align slots to the *end* of the history so the next forecast
         # window continues the season correctly even for partial days.
-        sums = np.zeros(self.period)
-        counts = np.zeros(self.period)
-        offset = arr.size % self.period
-        for t in range(arr.size):
-            slot = (t - offset) % self.period
-            sums[slot] += arr[t]
-            counts[slot] += 1
-        counts[counts == 0] = 1.0
-        self._slot_means = sums / counts
+        self._slot_means = phase_aligned_slot_means(arr, self.period)
         return self
 
     def predict(self, horizon: int) -> np.ndarray:

@@ -26,6 +26,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.prediction.base import TemporalPredictor, validate_history, validate_horizon
+from repro.prediction.temporal.seasonal import (
+    phase_aligned_slot_means,
+    seasonal_feature_matrix,
+)
 
 __all__ = ["MlpConfig", "NeuralNetPredictor"]
 
@@ -73,6 +77,23 @@ class _Mlp:
             np.zeros_like(b) for b in self.biases
         ]
         self._adam_t = 0
+
+    @classmethod
+    def from_params(
+        cls, weights: Sequence[np.ndarray], biases: Sequence[np.ndarray]
+    ) -> "_Mlp":
+        """Assemble a network from trained parameters (fresh Adam state)."""
+        net = cls.__new__(cls)
+        net.weights = [np.asarray(w, dtype=float).copy() for w in weights]
+        net.biases = [np.asarray(b, dtype=float).copy() for b in biases]
+        net._adam_m = [np.zeros_like(w) for w in net.weights] + [
+            np.zeros_like(b) for b in net.biases
+        ]
+        net._adam_v = [np.zeros_like(w) for w in net.weights] + [
+            np.zeros_like(b) for b in net.biases
+        ]
+        net._adam_t = 0
+        return net
 
     def forward(self, x: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
         activations = [x]
@@ -134,34 +155,17 @@ class NeuralNetPredictor(TemporalPredictor):
 
     # ------------------------------------------------------------------ features
     def _slot_means(self, arr: np.ndarray) -> np.ndarray:
-        period = self.config.period
-        sums = np.zeros(period)
-        counts = np.zeros(period)
-        offset = arr.size % period
-        for t in range(arr.size):
-            slot = (t - offset) % period
-            sums[slot] += arr[t]
-            counts[slot] += 1
-        counts[counts == 0] = 1.0
-        return sums / counts
+        return phase_aligned_slot_means(arr, self.config.period)
 
-    def _features_for(self, arr: np.ndarray, t: int, depth: int) -> np.ndarray:
-        """Feature vector for (virtual) window index ``t`` of ``arr``.
+    def _feature_rows(self, arr: np.ndarray, t_indices: np.ndarray) -> np.ndarray:
+        """Feature matrix for (virtual) window indices ``t_indices``.
 
-        ``t`` may point past the end of the array (forecast windows); only
+        Indices may point past the end of the array (forecast windows); only
         lags at ``t - k*period`` for ``k >= 1`` are read, which stay inside
         the history for a one-period horizon.
         """
-        period = self.config.period
-        offset = arr.size % period
-        slot = (t - offset) % period
-        lags = []
-        for k in range(1, depth + 1):
-            idx = t - k * period
-            lags.append(arr[idx] if 0 <= idx < arr.size else self._slot_mean_vec[slot])
-        angle = 2.0 * np.pi * slot / period
-        return np.array(
-            lags + [self._slot_mean_vec[slot], np.sin(angle), np.cos(angle)]
+        return seasonal_feature_matrix(
+            arr, t_indices, self._depth, self.config.period, self._slot_mean_vec
         )
 
     # ------------------------------------------------------------------ training
@@ -176,7 +180,7 @@ class NeuralNetPredictor(TemporalPredictor):
         if start >= arr.size:
             start = cfg.period
         t_indices = np.arange(start, arr.size)
-        features = np.vstack([self._features_for(arr, t, depth) for t in t_indices])
+        features = self._feature_rows(arr, t_indices)
         targets = arr[t_indices][:, None]
 
         self._x_mean = features.mean(axis=0)
@@ -201,12 +205,14 @@ class NeuralNetPredictor(TemporalPredictor):
         best_val = np.inf
         best_state = net.snapshot()
         stale = 0
+        epochs_run = 0
         for _ in range(cfg.max_epochs):
             perm = rng.permutation(x_train.shape[0])
             for lo in range(0, perm.size, cfg.batch_size):
                 batch = perm[lo : lo + cfg.batch_size]
                 net.train_batch(x_train[batch], y_train[batch], cfg.learning_rate, cfg.l2)
             val_loss = float(((net.predict(x_val) - y_val) ** 2).mean())
+            epochs_run += 1
             if val_loss < best_val - 1e-6:
                 best_val = val_loss
                 best_state = net.snapshot()
@@ -218,7 +224,40 @@ class NeuralNetPredictor(TemporalPredictor):
         net.restore(best_state)
         self._net = net
         self._history = arr
+        self._fit_epochs = epochs_run
         return self
+
+    @classmethod
+    def _from_batch_state(
+        cls,
+        config: MlpConfig,
+        history: np.ndarray,
+        net: _Mlp,
+        depth: int,
+        slot_mean_vec: np.ndarray,
+        x_mean: np.ndarray,
+        x_std: np.ndarray,
+        y_mean: float,
+        y_std: float,
+        fit_epochs: int,
+    ) -> "NeuralNetPredictor":
+        """Assemble a fitted predictor from the batched trainer's state.
+
+        Used by :mod:`repro.prediction.temporal.batched`; the resulting
+        object is indistinguishable from one produced by :meth:`fit` (same
+        attributes, same vectorized :meth:`predict` path).
+        """
+        model = cls(config)
+        model._net = net
+        model._history = history
+        model._depth = depth
+        model._slot_mean_vec = slot_mean_vec
+        model._x_mean = x_mean
+        model._x_std = x_std
+        model._y_mean = y_mean
+        model._y_std = y_std
+        model._fit_epochs = fit_epochs
+        return model
 
     # ------------------------------------------------------------------ forecast
     def predict(self, horizon: int) -> np.ndarray:
@@ -226,12 +265,7 @@ class NeuralNetPredictor(TemporalPredictor):
         assert self._net is not None
         horizon = validate_horizon(horizon)
         arr = self._history
-        rows = np.vstack(
-            [
-                self._features_for(arr, arr.size + h, self._depth)
-                for h in range(horizon)
-            ]
-        )
+        rows = self._feature_rows(arr, arr.size + np.arange(horizon))
         x = (rows - self._x_mean) / self._x_std
         y = self._net.predict(x)[:, 0]
         return y * self._y_std + self._y_mean

@@ -1,0 +1,121 @@
+"""Vectorized seasonal feature pipeline shared by the temporal models.
+
+The MLP signature predictor and the seasonal-mean baseline both need the
+same two primitives:
+
+* **phase-aligned slot means** — the mean of each time-of-day slot, with
+  slots aligned to the *end* of the history so the first forecast window
+  continues the season correctly even when the history length is not a
+  multiple of the period;
+* **seasonal-lag feature matrices** — for each (virtual) window index, the
+  values of the same slot on the previous ``depth`` days, falling back to
+  the slot mean when a lag would reach before the start of the history.
+
+Both used to be per-timestep / per-row Python loops; here they are single
+``np.bincount`` / fancy-indexing passes.  ``np.bincount`` accumulates in
+input order, i.e. in the exact same IEEE-754 addition order as the old
+``for t in range(...)`` loop, so the vectorized results are bit-identical
+to the originals — the regression tests pin this.
+
+The ``*_batch`` variants operate on a ``(n_series, T)`` matrix of
+equal-length histories at once; per-row results are bit-identical to the
+single-series functions, which is what lets the batched MLP trainer
+(:mod:`repro.prediction.temporal.batched`) reproduce the serial path
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "phase_aligned_slot_means",
+    "phase_aligned_slot_means_batch",
+    "seasonal_feature_matrix",
+    "seasonal_feature_matrix_batch",
+]
+
+
+def _slot_indices(size: int, period: int) -> np.ndarray:
+    """Slot of each timestep, phase-aligned to the end of the history."""
+    offset = size % period
+    return (np.arange(size) - offset) % period
+
+
+def _slot_counts(size: int, period: int) -> np.ndarray:
+    """Occurrences of each slot (empty slots mapped to 1 for safe division)."""
+    counts = np.bincount(_slot_indices(size, period), minlength=period).astype(float)
+    counts[counts == 0] = 1.0
+    return counts
+
+
+def phase_aligned_slot_means(arr: np.ndarray, period: int) -> np.ndarray:
+    """Per-slot mean of a 1-D history, slots aligned to the history's end."""
+    slots = _slot_indices(arr.size, period)
+    sums = np.bincount(slots, weights=arr, minlength=period)
+    return sums / _slot_counts(arr.size, period)
+
+
+def phase_aligned_slot_means_batch(matrix: np.ndarray, period: int) -> np.ndarray:
+    """Per-slot means of a ``(n_series, T)`` matrix — one bincount pass.
+
+    Each series is offset into its own ``period``-sized bin range; the flat
+    row-major traversal keeps every series' accumulation order identical to
+    :func:`phase_aligned_slot_means` on that row.
+    """
+    n_series, size = matrix.shape
+    slots = _slot_indices(size, period)
+    flat = (np.arange(n_series)[:, None] * period + slots[None, :]).ravel()
+    sums = np.bincount(flat, weights=matrix.ravel(), minlength=n_series * period)
+    return sums.reshape(n_series, period) / _slot_counts(size, period)
+
+
+def seasonal_feature_matrix(
+    arr: np.ndarray,
+    t_indices: np.ndarray,
+    depth: int,
+    period: int,
+    slot_means: np.ndarray,
+) -> np.ndarray:
+    """Feature rows for window indices ``t_indices`` of a 1-D history.
+
+    Columns: ``depth`` seasonal lags (slot-mean fallback when the lag
+    precedes the history), the slot mean, and sin/cos time-of-day
+    encodings.  ``t_indices`` may point past the end of the array
+    (forecast windows); only lags at ``t - k*period`` for ``k >= 1`` are
+    read, which stay inside the history for a one-period horizon.
+    """
+    return seasonal_feature_matrix_batch(
+        arr[None, :], t_indices, depth, period, slot_means[None, :]
+    )[0]
+
+
+def seasonal_feature_matrix_batch(
+    matrix: np.ndarray,
+    t_indices: np.ndarray,
+    depth: int,
+    period: int,
+    slot_means: np.ndarray,
+) -> np.ndarray:
+    """Feature tensor ``(n_series, len(t_indices), depth + 3)`` for a batch.
+
+    ``matrix`` is ``(n_series, T)`` and ``slot_means`` ``(n_series,
+    period)``; all series share the window indices, so the lag index
+    arithmetic is computed once and fancy-indexed across the batch.
+    """
+    size = matrix.shape[1]
+    t_indices = np.asarray(t_indices)
+    offset = size % period
+    slots = (t_indices - offset) % period  # (n,)
+    lag_idx = t_indices[:, None] - period * np.arange(1, depth + 1)[None, :]  # (n, depth)
+    valid = (lag_idx >= 0) & (lag_idx < size)
+    lag_vals = matrix[:, np.clip(lag_idx, 0, size - 1)]  # (n_series, n, depth)
+    fallback = slot_means[:, slots]  # (n_series, n)
+    angle = 2.0 * np.pi * slots / period
+
+    features = np.empty((matrix.shape[0], t_indices.size, depth + 3))
+    features[:, :, :depth] = np.where(valid[None, :, :], lag_vals, fallback[:, :, None])
+    features[:, :, depth] = fallback
+    features[:, :, depth + 1] = np.sin(angle)
+    features[:, :, depth + 2] = np.cos(angle)
+    return features

@@ -169,15 +169,15 @@ def build_mckp(
         # running example counts D > D'_v), while the self-consistent
         # reading allocates candidate/alpha so alpha * capacity applies.
         threshold_factor = 1.0 if literal_formulation else problem.alpha
-        tickets = np.array(
-            [
-                int((demands > threshold_factor * c + TICKET_TOLERANCE).sum())
-                if c > 0
-                else int((demands > TICKET_TOLERANCE).sum())
-                for c in caps
-            ],
-            dtype=int,
+        # count(demands > t) == n - searchsorted(sorted, t, 'right'): one
+        # O(W log W) sort per VM instead of an O(candidates x W) scan.
+        thresholds = np.where(
+            caps > 0, threshold_factor * caps + TICKET_TOLERANCE, TICKET_TOLERANCE
         )
+        sorted_demands = np.sort(demands)
+        tickets = (
+            demands.size - np.searchsorted(sorted_demands, thresholds, side="right")
+        ).astype(int)
         # Candidates with equal ticket counts are kept: stepping between them
         # is a zero-MTRV move the greedy takes first when the budget binds,
         # and retaining the larger capacities preserves the safety margin

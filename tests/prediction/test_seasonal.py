@@ -1,0 +1,110 @@
+"""Tests for the vectorized seasonal pipeline (repro.prediction.temporal.seasonal).
+
+The bincount / fancy-indexing implementations replaced per-timestep Python
+loops; each test compares against a straightforward loop reference and
+asserts *exact* equality (the accumulation order is unchanged, so the
+results are bit-identical, which the batched MLP trainer relies on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction.temporal.naive import SeasonalMeanPredictor
+from repro.prediction.temporal.seasonal import (
+    phase_aligned_slot_means,
+    phase_aligned_slot_means_batch,
+    seasonal_feature_matrix,
+    seasonal_feature_matrix_batch,
+)
+
+
+def reference_slot_means(arr, period):
+    """The original per-timestep accumulation loop."""
+    sums = np.zeros(period)
+    counts = np.zeros(period)
+    offset = arr.size % period
+    for t in range(arr.size):
+        slot = (t - offset) % period
+        sums[slot] += arr[t]
+        counts[slot] += 1
+    counts[counts == 0] = 1.0
+    return sums / counts
+
+
+def reference_feature_rows(arr, t_indices, depth, period, slot_means):
+    """The original per-row feature constructor."""
+    size = arr.size
+    offset = size % period
+    rows = []
+    for t in t_indices:
+        slot = (t - offset) % period
+        feats = []
+        for k in range(1, depth + 1):
+            lag = t - k * period
+            feats.append(arr[lag] if 0 <= lag < size else slot_means[slot])
+        angle = 2.0 * np.pi * slot / period
+        feats.extend([slot_means[slot], np.sin(angle), np.cos(angle)])
+        rows.append(feats)
+    return np.asarray(rows)
+
+
+# Lengths deliberately include non-multiples of the period: phase alignment
+# only matters (and only ever broke) when a partial day leads the history.
+@pytest.mark.parametrize("size", [24, 48, 25, 47, 100, 7])
+def test_slot_means_match_loop(size):
+    arr = np.random.default_rng(size).uniform(0, 50, size)
+    np.testing.assert_array_equal(
+        phase_aligned_slot_means(arr, 24), reference_slot_means(arr, 24)
+    )
+
+
+@pytest.mark.parametrize("size", [48, 50, 95])
+def test_slot_means_batch_matches_single(size):
+    matrix = np.random.default_rng(size).uniform(0, 50, (5, size))
+    batch = phase_aligned_slot_means_batch(matrix, 24)
+    for i, row in enumerate(matrix):
+        np.testing.assert_array_equal(batch[i], phase_aligned_slot_means(row, 24))
+
+
+def test_empty_slots_yield_zero():
+    # Histories shorter than the period leave slots unobserved; the count
+    # floor keeps them at 0 instead of 0/0.
+    means = phase_aligned_slot_means(np.ones(5), 24)
+    assert np.isfinite(means).all()
+    assert (means == 0.0).sum() == 24 - 5
+
+
+@pytest.mark.parametrize("size,depth", [(96, 2), (100, 3), (48, 1)])
+def test_feature_matrix_matches_loop(size, depth):
+    period = 24
+    arr = np.random.default_rng(size + depth).uniform(0, 50, size)
+    slot_means = phase_aligned_slot_means(arr, period)
+    # Training rows and forecast rows (indices past the end of the history).
+    t_indices = np.arange(depth * period, size + period)
+    np.testing.assert_array_equal(
+        seasonal_feature_matrix(arr, t_indices, depth, period, slot_means),
+        reference_feature_rows(arr, t_indices, depth, period, slot_means),
+    )
+
+
+def test_feature_matrix_batch_matches_single():
+    period, depth = 24, 2
+    matrix = np.random.default_rng(3).uniform(0, 50, (4, 100))
+    slot_means = phase_aligned_slot_means_batch(matrix, period)
+    t_indices = np.arange(depth * period, 100 + period)
+    batch = seasonal_feature_matrix_batch(matrix, t_indices, depth, period, slot_means)
+    for i in range(matrix.shape[0]):
+        np.testing.assert_array_equal(
+            batch[i],
+            seasonal_feature_matrix(matrix[i], t_indices, depth, period, slot_means[i]),
+        )
+
+
+@pytest.mark.parametrize("size", [48, 31, 50])
+def test_seasonal_mean_predictor_uses_shared_pipeline(size):
+    # The baseline predictor delegates to the same vectorized slot means;
+    # equality on non-multiple-of-period histories pins the phase handling.
+    arr = np.random.default_rng(size).uniform(0, 50, size)
+    model = SeasonalMeanPredictor(period=24).fit(arr)
+    np.testing.assert_array_equal(model._slot_means, reference_slot_means(arr, 24))
+    np.testing.assert_array_equal(model.predict(24), reference_slot_means(arr, 24))

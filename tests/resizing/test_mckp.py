@@ -153,3 +153,51 @@ class TestLemma41:
         rounded = build_mckp(problem, epsilon=2.0).groups[0]
         assert rounded.capacities[0] >= plain.capacities[0] - 1e-9
         assert rounded.tickets[0] == 0 == plain.tickets[0]
+
+
+class TestVectorizedTickets:
+    """The searchsorted ticket counting must match the original scan."""
+
+    @staticmethod
+    def _reference_tickets(demands, caps, threshold_factor):
+        # The original O(candidates x windows) list comprehension.
+        return np.array(
+            [
+                int((demands > threshold_factor * c + 1e-9).sum())
+                if c > 0
+                else int((demands > 1e-9).sum())
+                for c in caps
+            ],
+            dtype=int,
+        )
+
+    @pytest.mark.parametrize("literal", [False, True])
+    @pytest.mark.parametrize("epsilon", [0.0, 1.5])
+    def test_random_fleet_pin(self, literal, epsilon, small_fleet):
+        # Demand matrices from a generated fleet (duplicates, idle VMs and
+        # bursty rows included) — the ticket arrays must be identical.
+        factor = 1.0 if literal else 0.6
+        from repro.trace.model import Resource
+
+        for box in small_fleet.boxes[:6]:
+            demands = np.maximum(box.demand_matrix(Resource.CPU), 0.0)
+            problem = ResizingProblem(
+                demands=demands, capacity=float(box.cpu_capacity), alpha=0.6
+            )
+            instance = build_mckp(
+                problem, epsilon=epsilon, literal_formulation=literal
+            )
+            for group in instance.groups:
+                expected = self._reference_tickets(
+                    problem.demands[group.vm_index], group.capacities, factor
+                )
+                np.testing.assert_array_equal(group.tickets, expected)
+
+    def test_duplicate_and_boundary_demands(self):
+        # Exact ties between a candidate threshold and a demand value are
+        # where a searchsorted side-mismatch would bite.
+        demands = np.array([[1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 0.0]])
+        problem = ResizingProblem(demands=demands, capacity=100.0, alpha=0.5)
+        group = build_mckp(problem, literal_formulation=True).groups[0]
+        expected = self._reference_tickets(demands[0], group.capacities, 1.0)
+        np.testing.assert_array_equal(group.tickets, expected)
