@@ -1,0 +1,393 @@
+"""Vectorized spatial-search engine — reference-vs-vectorized speedup proof.
+
+Times the full per-box signature search (clustering + silhouette sweep +
+VIF stepwise + dependent OLS fits) over the shared pipeline bench fleet
+with the vectorized linear-algebra engine on (``REPRO_VECTOR_SPATIAL=1``,
+the default) and off (the retained reference paths), asserting along the
+way that both produce the *same decisions*: identical signature /
+dependent / initial index sets, identical cluster labels, and dependent
+model coefficients equal to tight tolerances.  The DTW-path search must
+come out >= 2x faster.
+
+It then re-times the spatial-stage benches (fig05, fig06, fig07 and the
+clustering ablation) under both gates and checks every deterministic
+table value against the baselines recorded in ``bench_output_verbose.txt``
+— the engine must change wall-clock only.  Results land in
+``BENCH_spatial.json``.
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_spatial_vector.py [--quick]
+        [--boxes N] [--no-figs]
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchhelpers import pipeline_fleet, print_table
+from repro.prediction.spatial.cache import SIGNATURE_CACHE
+from repro.prediction.spatial.cbc import correlation_based_clusters
+from repro.prediction.spatial.dtw_cluster import dtw_clusters
+from repro.prediction.spatial.signatures import (
+    ClusteringMethod,
+    SignatureSearchConfig,
+    search_signature_set,
+)
+from repro.timeseries.ecdf import histogram_shares
+from repro.timeseries.metrics import mean_absolute_percentage_error
+from repro.timeseries.vector import VECTOR_ENV_VAR
+from repro.trace.model import Resource
+
+pytestmark = pytest.mark.slow
+
+TARGET_SPEEDUP = 2.0  # DTW-path search, reference vs vectorized
+REPEATS = 5
+TRAIN_WINDOWS = 5 * 96
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_spatial.json"
+FIG05_BINS = [2, 4, 6, 8, 10, 16, 32, 65]
+
+#: Spatial-stage bench wall-clock (ms) before the vectorized engine, as
+#: recorded in bench_output_verbose.txt — the regression reference.
+BASELINE_MS = {
+    "fig05": 1_965.0624,
+    "fig06": 4_336.9080,
+    "fig07": 4_245.7678,
+    "clustering_ablation": 3_769.0467,
+}
+
+#: Deterministic table values from bench_output_verbose.txt, rounded as
+#: printed (2 decimals).  The vectorized engine must reproduce every one.
+EXPECTED_TABLES = {
+    "fig05": {
+        "dtw_shares": [77.50, 12.50, 5.00, 2.50, 2.50, 0.00, 0.00],
+        "cbc_shares": [0.00, 5.00, 17.50, 20.00, 55.00, 2.50, 0.00],
+        "cbc_cpu_share": 54.1,  # printed with 1 decimal
+    },
+    "fig06": {
+        ("dtw", "clustering"): (18.57, 35.52),
+        ("dtw", "stepwise"): (18.46, 35.52),
+        ("cbc", "clustering"): (60.90, 25.43),
+        ("cbc", "stepwise"): (54.75, 27.42),
+    },
+    "fig07": {
+        ("cbc", "inter"): (54.75, 27.42),
+        ("cbc", "intra-cpu"): (70.73, 36.28),
+        ("cbc", "intra-ram"): (79.26, 23.29),
+        ("dtw", "inter"): (18.46, 35.52),
+        ("dtw", "intra-cpu"): (28.68, 46.28),
+        ("dtw", "intra-ram"): (30.16, 29.66),
+    },
+    "clustering_ablation": {
+        "dtw": (18.46, 35.52),
+        "cbc": (54.75, 27.42),
+        "feature": (15.65, 42.86),
+    },
+}
+
+
+def _set_gate(raw):
+    if raw is None:
+        os.environ.pop(VECTOR_ENV_VAR, None)
+    else:
+        os.environ[VECTOR_ENV_VAR] = raw
+
+
+def _time_best(fn, repeats=REPEATS):
+    """Best-of-N wall clock — the low-noise estimator on a busy machine."""
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _search_pass(matrices, config):
+    """One cold full-fleet search pass (the timed unit)."""
+    SIGNATURE_CACHE.clear()
+    return [search_signature_set(m, config) for m in matrices]
+
+
+def _assert_equivalent(reference, vectorized):
+    """Reference and vectorized searches must make the same decisions."""
+    for ref, vec in zip(reference, vectorized):
+        assert vec.signature_indices == ref.signature_indices
+        assert vec.dependent_indices == ref.dependent_indices
+        assert vec.initial_signature_indices == ref.initial_signature_indices
+        assert vec.cluster_labels == ref.cluster_labels
+        for idx in ref.dependent_indices:
+            np.testing.assert_allclose(
+                vec.models[idx].coefficients,
+                ref.models[idx].coefficients,
+                rtol=1e-8,
+                atol=1e-10,
+            )
+            np.testing.assert_allclose(
+                vec.models[idx].intercept,
+                ref.models[idx].intercept,
+                rtol=1e-8,
+                atol=1e-10,
+            )
+
+
+def _decisions_digest(models):
+    decisions = tuple(
+        (m.signature_indices, m.dependent_indices, m.cluster_labels) for m in models
+    )
+    return hashlib.sha256(repr(decisions).encode()).hexdigest()[:16]
+
+
+def search_speedup(n_boxes=40):
+    """Reference-vs-vectorized timings of the full signature search.
+
+    Returns one ``[method, boxes, reference_s, vectorized_s, speedup,
+    digest]`` row per clustering method; decision equivalence is asserted
+    for every box along the way.
+    """
+    fleet = pipeline_fleet(40)
+    matrices = [box.demand_matrix()[:, :TRAIN_WINDOWS] for box in fleet.boxes[:n_boxes]]
+    rows = []
+    saved = os.environ.get(VECTOR_ENV_VAR)
+    try:
+        for method in (ClusteringMethod.DTW, ClusteringMethod.CBC):
+            config = SignatureSearchConfig(method=method, dtw_window=12)
+            _set_gate("0")
+            ref_s, reference = _time_best(lambda: _search_pass(matrices, config))
+            _set_gate("1")
+            vec_s, vectorized = _time_best(lambda: _search_pass(matrices, config))
+            _assert_equivalent(reference, vectorized)
+            rows.append(
+                [
+                    method.value,
+                    len(matrices),
+                    ref_s,
+                    vec_s,
+                    ref_s / vec_s,
+                    _decisions_digest(vectorized),
+                ]
+            )
+    finally:
+        _set_gate(saved)
+        SIGNATURE_CACHE.clear()
+    return rows
+
+
+def _fig05_values(fleet):
+    dtw_counts, cbc_counts = [], []
+    cbc_cpu = cbc_total = 0
+    for box in fleet:
+        data = box.demand_matrix()[:, :TRAIN_WINDOWS]
+        dtw_counts.append(dtw_clusters(data, window=12).n_clusters)
+        cbc = correlation_based_clusters(data)
+        cbc_counts.append(cbc.n_clusters)
+        cbc_total += len(cbc.signatures)
+        cbc_cpu += sum(1 for s in cbc.signatures if s < box.n_vms)
+    return {
+        "dtw_shares": [
+            round(100 * share, 2) for _, share in histogram_shares(dtw_counts, FIG05_BINS)
+        ],
+        "cbc_shares": [
+            round(100 * share, 2) for _, share in histogram_shares(cbc_counts, FIG05_BINS)
+        ],
+        "cbc_cpu_share": round(100 * cbc_cpu / cbc_total, 1),
+    }
+
+
+def _sweep(fleet, config, variant="inter"):
+    """Mean signature ratio %, mean dependent-fit APE % over the fleet."""
+    ratios, apes = [], []
+    for box in fleet:
+        if variant == "inter":
+            data = box.demand_matrix()[:, :TRAIN_WINDOWS]
+        elif variant == "intra-cpu":
+            data = box.demand_matrix(Resource.CPU)[:, :TRAIN_WINDOWS]
+        else:
+            data = box.demand_matrix(Resource.RAM)[:, :TRAIN_WINDOWS]
+        model = search_signature_set(data, config)
+        ratios.append(100.0 * model.signature_ratio)
+        fitted = model.fitted(data)
+        box_apes = [
+            mean_absolute_percentage_error(data[i], fitted[i])
+            for i in model.dependent_indices
+        ]
+        box_apes = [a for a in box_apes if np.isfinite(a)]
+        if box_apes:
+            apes.append(float(np.mean(box_apes)))
+    return round(float(np.mean(ratios)), 2), round(float(np.mean(apes)), 2)
+
+
+def _fig06_values(fleet):
+    out = {}
+    for method in (ClusteringMethod.DTW, ClusteringMethod.CBC):
+        for stepwise in (False, True):
+            config = SignatureSearchConfig(
+                method=method, apply_stepwise=stepwise, dtw_window=12
+            )
+            key = (method.value, "stepwise" if stepwise else "clustering")
+            out[key] = _sweep(fleet, config)
+    return out
+
+
+def _fig07_values(fleet):
+    out = {}
+    for method in (ClusteringMethod.CBC, ClusteringMethod.DTW):
+        config = SignatureSearchConfig(method=method, dtw_window=12)
+        for variant in ("inter", "intra-cpu", "intra-ram"):
+            out[(method.value, variant)] = _sweep(fleet, config, variant)
+    return out
+
+
+def _ablation_values(fleet):
+    return {
+        method.value: _sweep(
+            fleet, SignatureSearchConfig(method=method, dtw_window=12, period=96)
+        )
+        for method in ClusteringMethod
+    }
+
+
+def fig_tables():
+    """Re-run the spatial-stage benches under both gates.
+
+    Each fig's deterministic table values must agree between the reference
+    and vectorized engines AND match the baselines pinned from
+    ``bench_output_verbose.txt``; the vectorized wall-clock is reported
+    against the recorded pre-engine baseline.
+    """
+    fleet = pipeline_fleet(40)
+    compute = {
+        "fig05": _fig05_values,
+        "fig06": _fig06_values,
+        "fig07": _fig07_values,
+        "clustering_ablation": _ablation_values,
+    }
+    timings = {}
+    saved = os.environ.get(VECTOR_ENV_VAR)
+    try:
+        for fig, fn in compute.items():
+            per_gate = {}
+            for raw in ("0", "1"):
+                _set_gate(raw)
+                SIGNATURE_CACHE.clear()
+                start = time.perf_counter()
+                per_gate[raw] = (fn(fleet), 1000.0 * (time.perf_counter() - start))
+            values, measured_ms = per_gate["1"]
+            ref_values, ref_ms = per_gate["0"]
+            assert values == ref_values, (
+                f"{fig}: vectorized table diverges from reference: "
+                f"{values} != {ref_values}"
+            )
+            assert values == EXPECTED_TABLES[fig], (
+                f"{fig}: table diverges from bench_output_verbose.txt: "
+                f"{values} != {EXPECTED_TABLES[fig]}"
+            )
+            timings[fig] = {
+                "baseline_ms": BASELINE_MS[fig],
+                "reference_ms": ref_ms,
+                "measured_ms": measured_ms,
+                "reduction_pct": 100.0 * (1.0 - measured_ms / BASELINE_MS[fig]),
+                "tables_match_baseline": True,
+            }
+    finally:
+        _set_gate(saved)
+        SIGNATURE_CACHE.clear()
+    return timings
+
+
+def write_report(rows, figs):
+    report = {
+        "bench": "spatial_vector",
+        "fleet": "pipeline-40 (seed 20160629)",
+        "repeats": REPEATS,
+        "gate": VECTOR_ENV_VAR,
+        "search": [
+            {
+                "method": method,
+                "boxes": boxes,
+                "reference_seconds": ref_s,
+                "vectorized_seconds": vec_s,
+                "speedup": speedup,
+                "decisions_digest": digest,
+            }
+            for method, boxes, ref_s, vec_s, speedup, digest in rows
+        ],
+        "fig_wallclock": figs,
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _print_rows(rows):
+    print_table(
+        "Vectorized spatial search — full-fleet search seconds",
+        ["method", "boxes", "reference", "vectorized", "speedup", "digest"],
+        rows,
+    )
+
+
+def _print_figs(figs):
+    for fig, timing in figs.items():
+        print(
+            f"{fig}: {timing['measured_ms']:.0f}ms vs baseline "
+            f"{timing['baseline_ms']:.0f}ms ({timing['reduction_pct']:.0f}% faster); "
+            f"tables identical to bench_output_verbose.txt"
+        )
+
+
+def _dtw_speedup(rows):
+    return next(row[4] for row in rows if row[0] == "dtw")
+
+
+def test_spatial_vector_speedup(benchmark):
+    rows, figs = benchmark.pedantic(
+        lambda: (search_speedup(), fig_tables()), rounds=1, iterations=1
+    )
+    _print_rows(rows)
+    _print_figs(figs)
+    write_report(rows, figs)
+
+    assert _dtw_speedup(rows) >= TARGET_SPEEDUP, (
+        f"expected >= {TARGET_SPEEDUP}x vectorized DTW-path speedup, "
+        f"measured {_dtw_speedup(rows):.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="few-box equivalence smoke, no fig re-timing, no JSON (seconds)",
+    )
+    parser.add_argument("--boxes", type=int, default=40, help="boxes to time")
+    parser.add_argument(
+        "--no-figs", action="store_true", help="skip the fig05-07/ablation re-timing"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows = search_speedup(n_boxes=6)
+        _print_rows(rows)
+        print("quick smoke: reference/vectorized decisions identical (no JSON written)")
+        return 0
+    rows = search_speedup(n_boxes=args.boxes)
+    _print_rows(rows)
+    figs = {} if args.no_figs else fig_tables()
+    _print_figs(figs)
+    report = write_report(rows, figs)
+    print(
+        f"wrote {RESULTS_PATH.name}: DTW-path speedup "
+        f"{_dtw_speedup(rows):.2f}x (target >= {TARGET_SPEEDUP}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -115,7 +115,9 @@ class FleetExecutor:
 
         ``fn`` must be a module-level (picklable) callable when ``jobs > 1``.
         Results keep the input order regardless of worker completion order;
-        a worker exception propagates to the caller.
+        a worker exception propagates to the caller, and chunks not yet
+        started are cancelled rather than run to completion (fail fast —
+        a poisoned box should not cost the wall-clock of the whole fleet).
         """
         work = list(items)
         if self.jobs == 1 or len(work) <= 1:
@@ -133,6 +135,11 @@ class FleetExecutor:
                 pool.submit(_run_chunk, fn, part, common): index
                 for index, part in enumerate(chunks)
             }
-            for future in as_completed(futures):
-                results[futures[future]] = future.result()
+            try:
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
         return [item for part in results for item in part]  # type: ignore[union-attr]

@@ -8,6 +8,12 @@ forecast the signatures temporally, then reconstruct every dependent series
 through its spatial (linear) model — the expensive temporal machinery runs
 only on the reduced signature set, which is the paper's entire scalability
 argument.
+
+The spatial half of the pipeline (signature search and reconstruction) runs
+on the vectorized linear-algebra engine by default: Gram-based VIF stepwise
+elimination sharing CBC's correlation matrix, one multi-RHS ``lstsq`` for
+all dependent models, and a single-matmul reconstruction.
+``REPRO_VECTOR_SPATIAL=0`` restores the per-column reference paths.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ signature set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ class CbcResult:
 def correlation_based_clusters(
     series: Sequence[Sequence[float]],
     rho_threshold: float = DEFAULT_RHO_THRESHOLD,
+    corr: Optional[np.ndarray] = None,
 ) -> CbcResult:
     """Run CBC over a set of series.
 
@@ -65,6 +66,11 @@ def correlation_based_clusters(
         ``(n_series, n_samples)``-shaped data (rows are series).
     rho_threshold:
         Correlation threshold for a "strong" link (paper: 0.7).
+    corr:
+        Optional precomputed ``(n_series, n_series)`` Pearson correlation
+        matrix of the rows.  The signature search passes it so the matrix
+        CBC clusters on is shared with the step-2 VIF elimination instead
+        of being computed twice.
     """
     data = np.asarray(series, dtype=float)
     if data.ndim != 2:
@@ -75,7 +81,12 @@ def correlation_based_clusters(
     if not 0.0 < rho_threshold <= 1.0:
         raise ValueError(f"rho_threshold must be in (0, 1], got {rho_threshold}")
 
-    corr = pairwise_correlation_matrix(data)
+    if corr is None:
+        corr = pairwise_correlation_matrix(data)
+    else:
+        corr = np.asarray(corr, dtype=float)
+        if corr.shape != (n, n):
+            raise ValueError(f"corr must be ({n}, {n}), got {corr.shape}")
     remaining = list(range(n))
     labels = [-1] * n
     signatures: List[int] = []

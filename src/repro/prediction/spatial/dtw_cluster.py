@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.timeseries.clustering import HierarchicalClustering, Linkage, clusters_as_lists
 from repro.timeseries.dtw import dtw_distance_matrix
-from repro.timeseries.silhouette import mean_silhouette
+from repro.timeseries.silhouette import best_silhouette_cut
 
 __all__ = ["DtwClusterResult", "dtw_clusters"]
 
@@ -85,17 +85,11 @@ def dtw_clusters(
     upper = max_clusters if max_clusters is not None else n // 2
     upper = int(np.clip(upper, 2, n))
     # One incremental replay of the merge sequence yields every candidate
-    # cut; re-cutting from scratch per k made the sweep quadratic.
+    # cut; re-cutting from scratch per k made the sweep quadratic.  All
+    # cuts are then scored against the shared distance matrix in one
+    # vectorized silhouette sweep (ties prefer fewer clusters).
     sweep = clustering.cuts(range(2, upper + 1))
-    best: Optional[Tuple[float, int, List[int]]] = None
-    for k in range(2, upper + 1):
-        labels = sweep[k]
-        score = mean_silhouette(distances, labels)
-        # Ties prefer fewer clusters (smaller signature set).
-        if best is None or score > best[0] + 1e-12:
-            best = (score, k, labels)
-    assert best is not None
-    score, k, labels = best
+    score, k, labels = best_silhouette_cut(distances, sweep)
 
     groups = clusters_as_lists(labels)
     signatures = tuple(_signature_of_cluster(distances, members) for members in groups)

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.timeseries.acf import feature_vector
 from repro.timeseries.clustering import HierarchicalClustering, Linkage, clusters_as_lists
-from repro.timeseries.silhouette import mean_silhouette
+from repro.timeseries.silhouette import best_silhouette_cut
 
 __all__ = ["FeatureClusterResult", "feature_clusters"]
 
@@ -74,14 +74,10 @@ def feature_clusters(
 
     upper = max_clusters if max_clusters is not None else n // 2
     upper = int(np.clip(upper, 2, n))
-    best = None
-    for k in range(2, upper + 1):
-        labels = clustering.cut(k)
-        score = mean_silhouette(distances, labels)
-        if best is None or score > best[0] + 1e-12:
-            best = (score, k, labels)
-    assert best is not None
-    score, k, labels = best
+    # Same machinery as the DTW path: one incremental replay for all cuts,
+    # one vectorized silhouette sweep over the shared distance matrix.
+    sweep = clustering.cuts(range(2, upper + 1))
+    score, k, labels = best_silhouette_cut(distances, sweep)
 
     signatures = []
     for members in clusters_as_lists(labels):

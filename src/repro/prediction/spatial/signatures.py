@@ -30,7 +30,9 @@ from repro.prediction.spatial.cache import (
 )
 from repro.prediction.spatial.cbc import DEFAULT_RHO_THRESHOLD, correlation_based_clusters
 from repro.prediction.spatial.dtw_cluster import dtw_clusters
-from repro.timeseries.regression import OlsFit, fit_ols, stepwise_eliminate
+from repro.timeseries.correlation import pairwise_correlation_matrix
+from repro.timeseries.regression import OlsFit, fit_dependent_models, stepwise_eliminate
+from repro.timeseries.vector import vector_spatial_enabled
 
 __all__ = [
     "ClusteringMethod",
@@ -132,8 +134,19 @@ class SpatialModel:
             )
         t = sig.shape[1]
         out = np.zeros((self.n_series, t))
-        for row, idx in enumerate(self.signature_indices):
-            out[idx] = sig[row]
+        out[list(self.signature_indices)] = sig
+        if not self.dependent_indices:
+            return out
+        if vector_spatial_enabled():
+            # All dependent rows in one (T, S) @ (S, D) matmul + intercepts.
+            coef = np.column_stack(
+                [self.models[idx].coefficients for idx in self.dependent_indices]
+            )
+            intercepts = np.array(
+                [self.models[idx].intercept for idx in self.dependent_indices]
+            )
+            out[list(self.dependent_indices)] = (sig.T @ coef + intercepts).T
+            return out
         regressors = sig.T  # (T, n_signatures)
         for idx in self.dependent_indices:
             out[idx] = self.models[idx].predict(regressors)
@@ -149,7 +162,13 @@ class SpatialModel:
 
 def _initial_signatures(
     data: np.ndarray, config: SignatureSearchConfig
-) -> Tuple[List[int], Tuple[int, ...]]:
+) -> Tuple[List[int], Tuple[int, ...], Optional[np.ndarray]]:
+    """Run step-1 clustering; also return the correlation matrix if one was built.
+
+    CBC already computes the full pairwise Pearson matrix; handing it back lets
+    step 2 derive its Gram-based VIFs from the same matrix instead of
+    recomputing the correlations.
+    """
     if config.method is ClusteringMethod.DTW:
         result = dtw_clusters(
             data,
@@ -157,16 +176,19 @@ def _initial_signatures(
             zscore=config.dtw_zscore,
             max_clusters=config.max_clusters,
         )
-        return list(result.signatures), result.labels
+        return list(result.signatures), result.labels, None
     if config.method is ClusteringMethod.FEATURE:
         from repro.prediction.spatial.features import feature_clusters
 
         result = feature_clusters(
             data, period=config.period, max_clusters=config.max_clusters
         )
-        return list(result.signatures), result.labels
-    result = correlation_based_clusters(data, rho_threshold=config.rho_threshold)
-    return list(result.signatures), result.labels
+        return list(result.signatures), result.labels, None
+    corr = pairwise_correlation_matrix(data)
+    result = correlation_based_clusters(
+        data, rho_threshold=config.rho_threshold, corr=corr
+    )
+    return list(result.signatures), result.labels, corr
 
 
 def search_signature_set(
@@ -203,20 +225,22 @@ def search_signature_set(
         if cached is not None:
             return cached
 
-    initial, labels = _initial_signatures(arr, cfg)
+    initial, labels, corr = _initial_signatures(arr, cfg)
     initial_sorted = sorted(initial)
 
     final = list(initial_sorted)
     if cfg.apply_stepwise and len(final) > 1:
         matrix = arr[final].T  # (T, n_initial_signatures)
+        sub_corr = corr[np.ix_(final, final)] if corr is not None else None
         kept_cols, _removed = stepwise_eliminate(
-            matrix, vif_threshold=cfg.vif_threshold, min_keep=1
+            matrix, vif_threshold=cfg.vif_threshold, min_keep=1, corr=sub_corr
         )
         final = sorted(final[col] for col in kept_cols)
 
     dependents = tuple(i for i in range(n_series) if i not in set(final))
     regressors = arr[final].T  # (T, n_signatures)
-    models = {idx: fit_ols(arr[idx], regressors) for idx in dependents}
+    fits = fit_dependent_models(regressors, arr[list(dependents)].T)
+    models = dict(zip(dependents, fits))
     model = SpatialModel(
         n_series=n_series,
         signature_indices=tuple(final),

@@ -95,6 +95,11 @@ class HierarchicalClustering:
             return []
         # The matrix shrinks logically via the `alive` mask; merged rows keep
         # their slot and carry the id of the cluster they now represent.
+        # Dead rows/columns are parked at inf so the closest active pair is
+        # one argmin over the full matrix — no O(n^2) submatrix copy per
+        # merge.  Row-major argmin over the full matrix visits the alive
+        # entries in the same order as the compacted submatrix would, so
+        # tie-breaking is unchanged.
         dist = self.distances.copy()
         np.fill_diagonal(dist, np.inf)
         cluster_id = list(range(n))
@@ -104,12 +109,7 @@ class HierarchicalClustering:
         next_id = n
         for _ in range(n - 1):
             # Find the closest active pair.
-            sub = dist[np.ix_(alive, alive)]
-            flat = np.argmin(sub)
-            k = sub.shape[0]
-            ai, aj = divmod(int(flat), k)
-            idxs = np.flatnonzero(alive)
-            i, j = int(idxs[ai]), int(idxs[aj])
+            i, j = divmod(int(np.argmin(dist)), n)
             if i == j:  # pragma: no cover - argmin on inf diagonal prevents this
                 raise RuntimeError("degenerate merge")
             height = float(dist[i, j])
@@ -136,6 +136,8 @@ class HierarchicalClustering:
                     new = (wi * di + wj * dj) / (wi + wj)
                 dist[i, others] = new
                 dist[others, i] = new
+            dist[j, :] = np.inf
+            dist[:, j] = np.inf
             alive[j] = False
             sizes[i] += sizes[j]
             cluster_id[i] = next_id

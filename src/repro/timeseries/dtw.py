@@ -27,6 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.timeseries.vector import vector_spatial_enabled
+
 __all__ = ["dtw_distance", "dtw_matrix", "dtw_path", "dtw_distance_matrix"]
 
 _INF = np.inf
@@ -173,7 +175,63 @@ def _dtw_batch(p: np.ndarray, q: np.ndarray, window: Optional[int]) -> np.ndarra
     ``(p[k], q[k])``.  The anti-diagonal dynamic program runs once with the
     pair axis leading, so the whole batch costs one DP's worth of Python
     overhead.  Returns the ``(n_pairs,)`` distances.
+
+    Two implementations produce bit-identical results: the reference
+    wavefront (fancy-indexed gathers, fresh temporaries per diagonal) and a
+    low-overhead variant that transposes the problem so the pair axis is
+    innermost — every per-diagonal operand becomes a contiguous
+    ``(width, n_pairs)`` block and every temporary a preallocated ``out=``
+    buffer, with the same elementwise subtract/square/min/add.
+    ``REPRO_VECTOR_SPATIAL=0`` selects the reference.
     """
+    if vector_spatial_enabled():
+        return _dtw_batch_fast(p, q, window)
+    return _dtw_batch_reference(p, q, window)
+
+
+def _dtw_batch_fast(p: np.ndarray, q: np.ndarray, window: Optional[int]) -> np.ndarray:
+    """Transposed wavefront: contiguous diagonal blocks + ``out=`` buffers."""
+    n_pairs, n = p.shape
+    half = window if window is not None else n  # band half-width
+    # Pair axis last: a diagonal's rows lo..hi slice contiguous memory.
+    # qT_rev[r] == q[:, n-1-r], so the descending gather q[:, k-rows]
+    # becomes the ascending contiguous slice qT_rev[n-1-k+lo : n-k+hi].
+    p_t = np.ascontiguousarray(p.T)
+    q_t_rev = np.ascontiguousarray(q[:, ::-1].T)
+    prev = np.full((n + 2, n_pairs), _INF)
+    prev2 = np.full((n + 2, n_pairs), _INF)
+    cur = np.full((n + 2, n_pairs), _INF)
+    local = np.empty((n, n_pairs))
+    best = np.empty((n, n_pairs))
+    for k in range(2 * n - 1):
+        # Active rows on anti-diagonal k: inside the matrix and the band
+        # (|2i - k| <= half).
+        lo = max(0, k - n + 1, (k - half + 1) // 2)
+        hi = min(n - 1, k, (k + half) // 2)
+        if lo > hi:
+            break  # pragma: no cover - band always reaches the corner
+        width = hi - lo + 1
+        d = local[:width]
+        np.subtract(p_t[lo : hi + 1], q_t_rev[n - 1 - k + lo : n - k + hi], out=d)
+        np.multiply(d, d, out=d)
+        if k == 0:
+            cur[1] = d[0]
+        else:
+            b = best[:width]
+            np.minimum(prev[lo + 1 : hi + 2], prev[lo : hi + 1], out=b)
+            np.minimum(b, prev2[lo : hi + 1], out=b)
+            np.add(d, b, out=cur[lo + 1 : hi + 2])
+        # Sentinels just outside the active slice keep stale buffer cells
+        # from leaking into later diagonals.
+        cur[lo] = _INF
+        if hi + 2 <= n + 1:
+            cur[hi + 2] = _INF
+        prev2, prev, cur = prev, cur, prev2
+    return prev[n].copy()
+
+
+def _dtw_batch_reference(p: np.ndarray, q: np.ndarray, window: Optional[int]) -> np.ndarray:
+    """The reference wavefront implementation (see :func:`_dtw_batch`)."""
     n_pairs, n = p.shape
     half = window if window is not None else n  # band half-width
     # Padded wavefront buffers, indexed by row i + 1; column 0 is a sentinel.

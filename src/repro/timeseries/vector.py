@@ -1,0 +1,37 @@
+"""Environment gate for the vectorized spatial-search linear algebra.
+
+The spatial half of the two-step signature search — the silhouette sweep,
+the VIF/stepwise elimination, the per-dependent OLS fits and the spatial
+reconstruction — has two implementations everywhere it is hot:
+
+* a **reference** scalar path (per-item Python loops over 1-D NumPy
+  calls), which defines the semantics, and
+* a **vectorized** path (batched matmuls, Gram-matrix identities,
+  multi-RHS solves) that computes the same quantities in a handful of
+  BLAS calls.
+
+The vectorized path is enabled by default.  Set ``REPRO_VECTOR_SPATIAL=0``
+to force the reference implementations — useful for debugging, for
+bisecting a numerical question, and as the baseline the equivalence
+benches compare against (``benchmarks/bench_spatial_vector.py``).
+
+Where the vectorized result cannot be certified to reproduce the
+reference *decisions* (near-singular candidate sets, VIF ties within
+numerical noise), the vectorized code falls back to the reference path on
+its own — the gate selects the fast path, never different answers.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["VECTOR_ENV_VAR", "vector_spatial_enabled"]
+
+#: Environment variable gating the vectorized spatial kernels (default: on).
+VECTOR_ENV_VAR = "REPRO_VECTOR_SPATIAL"
+
+
+def vector_spatial_enabled() -> bool:
+    """Whether the vectorized spatial kernels are enabled (``REPRO_VECTOR_SPATIAL``)."""
+    raw = os.environ.get(VECTOR_ENV_VAR, "1").strip().lower() or "1"
+    return raw not in {"0", "false", "off", "no"}

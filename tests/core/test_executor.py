@@ -44,6 +44,18 @@ def _maybe_fail(x):
     return x
 
 
+def _poison_or_sleep(item, out_dir):
+    """First item raises immediately; the rest sleep, then leave a marker."""
+    import time as _time
+
+    if item == 0:
+        raise RuntimeError("poisoned box")
+    _time.sleep(0.5)
+    with open(os.path.join(out_dir, f"done-{item}"), "w") as fh:
+        fh.write("1")
+    return item
+
+
 @pytest.fixture()
 def atm_config():
     return AtmConfig.with_clustering(ClusteringMethod.CBC, temporal_model="seasonal_mean")
@@ -107,6 +119,19 @@ class TestFleetExecutorMap:
     def test_worker_exception_propagates(self):
         with pytest.raises(RuntimeError, match="boom"):
             FleetExecutor(jobs=2).map(_maybe_fail, list(range(6)))
+
+    def test_worker_exception_cancels_pending_chunks(self, tmp_path):
+        # Fail fast: a poisoned first item must not let every other chunk
+        # run to completion.  One-chunk items + 2 workers: the poisoned
+        # chunk fails immediately while at most one other chunk is already
+        # running; the rest are still queued and must be cancelled.
+        items = list(range(10))
+        with pytest.raises(RuntimeError, match="poisoned box"):
+            FleetExecutor(jobs=2, chunksize=1).map(
+                _poison_or_sleep, items, str(tmp_path)
+            )
+        completed = len(list(tmp_path.glob("done-*")))
+        assert completed < len(items) - 1
 
     def test_single_item_stays_in_process(self):
         # len(items) <= 1 short-circuits to the serial path even with jobs>1.

@@ -1,0 +1,405 @@
+"""Randomized equivalence tests for the vectorized spatial-search engine.
+
+Every vectorized path introduced under ``REPRO_VECTOR_SPATIAL`` (Gram-based
+VIFs, downdated stepwise elimination, multi-RHS OLS, matmul silhouettes,
+the batched DTW wavefront) must make the *same decisions* as the retained
+reference implementation — identical kept/removed columns, identical best
+cuts, bitwise-equal DTW distances — with numeric outputs agreeing to tight
+tolerances.  These tests drive both paths over randomized and adversarial
+inputs (constant series, rank-deficient designs, singleton clusters, tied
+scores) and compare them directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import regression as reg
+from repro.timeseries import silhouette as sil
+from repro.timeseries.clustering import HierarchicalClustering
+from repro.timeseries.correlation import pairwise_correlation_matrix
+from repro.timeseries.dtw import _dtw_batch_fast, _dtw_batch_reference, dtw_distance_matrix
+from repro.timeseries.regression import (
+    fit_ols,
+    fit_ols_multi,
+    stepwise_eliminate,
+    variance_inflation_factors,
+)
+from repro.timeseries.silhouette import (
+    best_cluster_count,
+    best_silhouette_cut,
+    mean_silhouette,
+    mean_silhouettes_for_cuts,
+    silhouette_values,
+)
+from repro.timeseries.vector import VECTOR_ENV_VAR, vector_spatial_enabled
+
+
+@pytest.fixture()
+def gate_off(monkeypatch):
+    monkeypatch.setenv(VECTOR_ENV_VAR, "0")
+
+
+@pytest.fixture()
+def gate_on(monkeypatch):
+    monkeypatch.setenv(VECTOR_ENV_VAR, "1")
+
+
+def _random_design(rng, n, k, constant_cols=(), duplicate_of=None):
+    """A (n, k) design with optional constant and duplicated columns."""
+    x = rng.normal(size=(n, k))
+    for col in constant_cols:
+        x[:, col] = rng.normal()
+    if duplicate_of is not None:
+        src, dst = duplicate_of
+        x[:, dst] = x[:, src]
+    return x
+
+
+def _random_distances(rng, n):
+    """A symmetric non-negative distance matrix with a zero diagonal."""
+    d = np.abs(rng.normal(size=(n, n)))
+    d = (d + d.T) / 2
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestGate:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(VECTOR_ENV_VAR, raising=False)
+        assert vector_spatial_enabled()
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", "no", " OFF ", "No"])
+    def test_off_values(self, monkeypatch, raw):
+        monkeypatch.setenv(VECTOR_ENV_VAR, raw)
+        assert not vector_spatial_enabled()
+
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "", "yes"])
+    def test_on_values(self, monkeypatch, raw):
+        monkeypatch.setenv(VECTOR_ENV_VAR, raw)
+        assert vector_spatial_enabled()
+
+
+class TestVifEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("shape", [(30, 2), (50, 5), (120, 10), (12, 8)])
+    def test_random_designs(self, seed, shape):
+        rng = np.random.default_rng(seed)
+        x = _random_design(rng, *shape)
+        ref = reg._vif_reference(x)
+        vec = variance_inflation_factors(x)
+        assert np.allclose(ref, vec, rtol=1e-6, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_constant_column_is_inf_on_both_paths(self, seed):
+        rng = np.random.default_rng(seed)
+        x = _random_design(rng, 40, 5, constant_cols=(2,))
+        ref = reg._vif_reference(x)
+        vec = variance_inflation_factors(x)
+        assert np.isinf(ref[2]) and np.isinf(vec[2])
+        finite = np.isfinite(ref)
+        assert np.array_equal(finite, np.isfinite(vec))
+        assert np.allclose(ref[finite], vec[finite], rtol=1e-6, atol=1e-8)
+
+    def test_collinear_pair_matches_reference_decision(self):
+        # A duplicated column makes the Gram matrix singular; the vectorized
+        # path must fall back to (and agree with) the reference.
+        rng = np.random.default_rng(7)
+        x = _random_design(rng, 40, 4, duplicate_of=(0, 3))
+        ref = reg._vif_reference(x)
+        vec = variance_inflation_factors(x)
+        big = ref > 1e6
+        assert np.array_equal(big, vec > 1e6)
+        assert np.allclose(ref[~big], vec[~big], rtol=1e-4, atol=1e-6)
+
+    def test_precomputed_corr_matches(self):
+        rng = np.random.default_rng(11)
+        x = _random_design(rng, 60, 6)
+        corr = pairwise_correlation_matrix(x.T)
+        direct = variance_inflation_factors(x)
+        shared = variance_inflation_factors(x, corr=corr)
+        assert np.allclose(direct, shared, rtol=1e-8, atol=1e-10)
+
+    def test_fewer_than_two_columns(self, gate_on):
+        assert np.array_equal(variance_inflation_factors(np.ones((10, 1))), [1.0])
+
+
+class TestStepwiseEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_correlated_designs(self, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(80, 3))
+        # Mix base columns so several VIFs land above the threshold.
+        mix = rng.normal(size=(3, 7))
+        x = base @ mix + 0.05 * rng.normal(size=(80, 7))
+        ref = reg._stepwise_reference(x, vif_threshold=4.0, min_keep=1)
+        vec = stepwise_eliminate(x, vif_threshold=4.0, min_keep=1)
+        assert vec == ref
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("min_keep", [1, 3, 5])
+    def test_min_keep_floors(self, seed, min_keep):
+        rng = np.random.default_rng(100 + seed)
+        base = rng.normal(size=(60, 2))
+        x = base @ rng.normal(size=(2, 5)) + 0.01 * rng.normal(size=(60, 5))
+        ref = reg._stepwise_reference(x, vif_threshold=4.0, min_keep=min_keep)
+        vec = stepwise_eliminate(x, vif_threshold=4.0, min_keep=min_keep)
+        assert vec == ref
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_constant_and_rank_deficient_columns(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        x = _random_design(rng, 50, 6, constant_cols=(1,), duplicate_of=(0, 4))
+        ref = reg._stepwise_reference(x, vif_threshold=4.0, min_keep=1)
+        vec = stepwise_eliminate(x, vif_threshold=4.0, min_keep=1)
+        assert vec == ref
+
+    def test_shared_corr_matches_unshared(self):
+        rng = np.random.default_rng(42)
+        base = rng.normal(size=(70, 3))
+        x = base @ rng.normal(size=(3, 6)) + 0.1 * rng.normal(size=(70, 6))
+        corr = pairwise_correlation_matrix(x.T)
+        assert stepwise_eliminate(x, corr=corr) == stepwise_eliminate(x)
+
+    def test_partition_and_order_invariants(self):
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(90, 4))
+        x = base @ rng.normal(size=(4, 9)) + 0.02 * rng.normal(size=(90, 9))
+        kept, removed = stepwise_eliminate(x)
+        assert sorted(kept + removed) == list(range(9))
+
+
+class TestMultiRhsOls:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("n_targets", [1, 3, 7])
+    def test_matches_per_column_loop(self, seed, n_targets):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 4))
+        y = rng.normal(size=(60, n_targets))
+        multi = fit_ols_multi(y, x)
+        singles = [fit_ols(y[:, k], x) for k in range(n_targets)]
+        for m, s in zip(multi, singles):
+            assert np.allclose(m.coefficients, s.coefficients, rtol=1e-8, atol=1e-10)
+            assert m.intercept == pytest.approx(s.intercept, rel=1e-8, abs=1e-10)
+            assert m.r2 == pytest.approx(s.r2, rel=1e-8, abs=1e-10)
+            assert m.residual_std == pytest.approx(s.residual_std, rel=1e-8, abs=1e-10)
+
+    def test_constant_target_r2_one_both_paths(self, gate_on):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(40, 3))
+        y = np.column_stack([np.full(40, 2.5), rng.normal(size=40)])
+        fits = fit_ols_multi(y, x)
+        assert fits[0].r2 == 1.0
+        assert fit_ols(y[:, 0], x).r2 == 1.0
+
+    def test_rank_deficient_design(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(50, 3))
+        x = np.column_stack([x, x[:, 0]])  # duplicated regressor
+        y = rng.normal(size=(50, 2))
+        multi = fit_ols_multi(y, x)
+        singles = [fit_ols(y[:, k], x) for k in range(2)]
+        for m, s in zip(multi, singles):
+            # lstsq minimum-norm solutions agree; so do the fits.
+            assert np.allclose(m.coefficients, s.coefficients, rtol=1e-6, atol=1e-8)
+            assert m.r2 == pytest.approx(s.r2, rel=1e-8, abs=1e-8)
+
+    def test_empty_targets(self):
+        assert fit_ols_multi(np.empty((20, 0)), np.ones((20, 2))) == []
+
+    def test_1d_target_accepted(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 2))
+        y = rng.normal(size=30)
+        (m,) = fit_ols_multi(y, x)
+        s = fit_ols(y, x)
+        assert np.allclose(m.coefficients, s.coefficients, rtol=1e-8, atol=1e-10)
+
+    def test_gate_off_is_per_column_loop(self, gate_off):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(25, 3))
+        y = rng.normal(size=(25, 2))
+        multi = fit_ols_multi(y, x)
+        singles = [fit_ols(y[:, k], x) for k in range(2)]
+        for m, s in zip(multi, singles):
+            assert np.array_equal(m.coefficients, s.coefficients)
+            assert m.intercept == s.intercept
+
+
+class TestSilhouetteEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_labelings(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 30))
+        d = _random_distances(rng, n)
+        k = int(rng.integers(2, n))
+        labels = rng.integers(0, k, size=n)
+        ref = sil._silhouette_values_reference(d, labels)
+        vec = sil._silhouette_values_vector(d, labels)
+        assert np.allclose(ref, vec, rtol=1e-9, atol=1e-12)
+
+    def test_singleton_clusters_are_zero(self):
+        rng = np.random.default_rng(0)
+        d = _random_distances(rng, 6)
+        labels = np.array([0, 1, 2, 3, 4, 5])  # all singletons
+        assert np.array_equal(sil._silhouette_values_vector(d, labels), np.zeros(6))
+        assert np.array_equal(sil._silhouette_values_reference(d, labels), np.zeros(6))
+
+    def test_single_cluster_is_zero(self):
+        rng = np.random.default_rng(0)
+        d = _random_distances(rng, 5)
+        labels = np.zeros(5, dtype=int)
+        assert np.array_equal(silhouette_values(d, labels), np.zeros(5))
+
+    def test_zero_distances(self):
+        d = np.zeros((4, 4))
+        labels = [0, 0, 1, 1]
+        ref = sil._silhouette_values_reference(d, np.asarray(labels))
+        vec = sil._silhouette_values_vector(d, np.asarray(labels))
+        assert np.array_equal(ref, vec)
+
+    def test_noncontiguous_labels(self):
+        rng = np.random.default_rng(4)
+        d = _random_distances(rng, 8)
+        labels = np.array([10, 10, 3, 3, 7, 7, 3, 10])
+        ref = sil._silhouette_values_reference(d, labels)
+        vec = sil._silhouette_values_vector(d, labels)
+        assert np.allclose(ref, vec, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cut_sweep_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 25))
+        d = _random_distances(rng, n)
+        cuts = HierarchicalClustering(d).cuts(range(2, max(3, n // 2 + 1)))
+        sweep = mean_silhouettes_for_cuts(d, cuts)
+        for k, labels in cuts.items():
+            expected = float(
+                sil._silhouette_values_reference(d, np.asarray(labels)).mean()
+            )
+            assert sweep[k] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_non_nested_labelings_supported(self):
+        # Arbitrary labelings (not from one merge tree) must still score
+        # correctly through the direct-matmul branch.
+        rng = np.random.default_rng(17)
+        d = _random_distances(rng, 10)
+        labelings = {
+            2: [0, 0, 0, 0, 0, 1, 1, 1, 1, 1],
+            3: [0, 1, 2, 0, 1, 2, 0, 1, 2, 0],  # not a refinement partner
+        }
+        sweep = mean_silhouettes_for_cuts(d, labelings)
+        for k, labels in labelings.items():
+            expected = float(
+                sil._silhouette_values_reference(d, np.asarray(labels)).mean()
+            )
+            assert sweep[k] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_best_cut_tie_prefers_fewer_clusters(self):
+        # Two perfectly separated pairs: k=2 scores 1.0; so does the
+        # degenerate k tie — fewer clusters must win on both paths.
+        d = np.array(
+            [
+                [0.0, 1.0, 9.0, 9.0],
+                [1.0, 0.0, 9.0, 9.0],
+                [9.0, 9.0, 0.0, 1.0],
+                [9.0, 9.0, 1.0, 0.0],
+            ]
+        )
+        cuts = HierarchicalClustering(d).cuts([2, 3])
+        score, k, labels = best_silhouette_cut(d, cuts)
+        assert k == 2
+        assert score == pytest.approx(mean_silhouette(d, cuts[2]))
+
+    def test_best_cluster_count_tie(self):
+        d = np.zeros((4, 4))  # every labeling scores 0.0 -> tie
+        labelings = [[0, 0, 1, 1], [0, 1, 2, 0], [0, 1, 2, 3]]
+        assert best_cluster_count(d, labelings, [2, 3, 4]) == 2
+
+    def test_gate_off_matches_gate_on(self, monkeypatch):
+        rng = np.random.default_rng(23)
+        d = _random_distances(rng, 12)
+        cuts = HierarchicalClustering(d).cuts(range(2, 7))
+        monkeypatch.setenv(VECTOR_ENV_VAR, "1")
+        on = best_silhouette_cut(d, cuts)
+        monkeypatch.setenv(VECTOR_ENV_VAR, "0")
+        off = best_silhouette_cut(d, cuts)
+        assert on[1] == off[1] and on[2] == off[2]
+        assert on[0] == pytest.approx(off[0], rel=1e-9, abs=1e-12)
+
+
+class TestDtwBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("window", [None, 0, 3, 12])
+    def test_bitwise_identical(self, seed, window):
+        rng = np.random.default_rng(seed)
+        p = rng.normal(size=(20, 40))
+        q = rng.normal(size=(20, 40))
+        assert np.array_equal(
+            _dtw_batch_fast(p, q, window), _dtw_batch_reference(p, q, window)
+        )
+
+    def test_distance_matrix_gate_equivalence(self, monkeypatch):
+        rng = np.random.default_rng(6)
+        series = rng.normal(size=(9, 50))
+        monkeypatch.setenv(VECTOR_ENV_VAR, "1")
+        on = dtw_distance_matrix(series, window=5, zscore=True)
+        monkeypatch.setenv(VECTOR_ENV_VAR, "0")
+        off = dtw_distance_matrix(series, window=5, zscore=True)
+        assert np.array_equal(on, off)
+
+
+class TestSearchGateEquivalence:
+    """REPRO_VECTOR_SPATIAL=0 restores the reference search end to end."""
+
+    @pytest.mark.parametrize("method_name", ["cbc", "dtw"])
+    def test_full_search_identical_decisions(self, monkeypatch, method_name):
+        from repro.prediction.spatial.cache import SIGNATURE_CACHE
+        from repro.prediction.spatial.signatures import (
+            ClusteringMethod,
+            SignatureSearchConfig,
+            search_signature_set,
+        )
+
+        rng = np.random.default_rng(31)
+        base = rng.normal(size=(3, 96))
+        mix = rng.normal(size=(10, 3))
+        data = mix @ base + 0.2 * rng.normal(size=(10, 96))
+        cfg = SignatureSearchConfig(method=ClusteringMethod(method_name))
+
+        models = {}
+        for raw in ("1", "0"):
+            monkeypatch.setenv(VECTOR_ENV_VAR, raw)
+            SIGNATURE_CACHE.clear()
+            models[raw] = search_signature_set(data, cfg)
+        SIGNATURE_CACHE.clear()
+        on, off = models["1"], models["0"]
+        assert on.signature_indices == off.signature_indices
+        assert on.dependent_indices == off.dependent_indices
+        assert on.initial_signature_indices == off.initial_signature_indices
+        assert on.cluster_labels == off.cluster_labels
+        for idx in on.dependent_indices:
+            assert np.allclose(
+                on.models[idx].coefficients,
+                off.models[idx].coefficients,
+                rtol=1e-8,
+                atol=1e-10,
+            )
+
+    def test_reconstruct_gate_equivalence(self, monkeypatch):
+        from repro.prediction.spatial.cache import SIGNATURE_CACHE
+        from repro.prediction.spatial.signatures import search_signature_set
+
+        rng = np.random.default_rng(13)
+        base = rng.normal(size=(2, 80))
+        data = rng.normal(size=(6, 2)) @ base + 0.1 * rng.normal(size=(6, 80))
+        monkeypatch.setenv(VECTOR_ENV_VAR, "1")
+        SIGNATURE_CACHE.clear()
+        model = search_signature_set(data)
+        sig = data[list(model.signature_indices)]
+        on = model.reconstruct(sig)
+        monkeypatch.setenv(VECTOR_ENV_VAR, "0")
+        off = model.reconstruct(sig)
+        SIGNATURE_CACHE.clear()
+        assert np.allclose(on, off, rtol=1e-9, atol=1e-12)
+        # Signature rows pass through verbatim either way.
+        assert np.array_equal(on[list(model.signature_indices)], sig)
