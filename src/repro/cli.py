@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.benchhelpers.tables import print_table
 from repro.core import AtmConfig, run_fleet_atm
 from repro.prediction.registry import available_temporal_models
@@ -35,6 +36,17 @@ def _fleet_from_args(args: argparse.Namespace):
         return load_fleet_csv(args.input)
     config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
     return generate_fleet(config)
+
+
+def _print_degradations(report) -> None:
+    """Surface a run's degradation ladder events, if any."""
+    if report.ok:
+        return
+    print_table(
+        "Degraded boxes (graceful-degradation ladder)",
+        ["box", "stage", "rung", "reason"],
+        [[e.box_id, e.stage, e.rung, e.reason[:50]] for e in report.events],
+    )
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -98,6 +110,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         ["algorithm", "CPU", "RAM"],
         rows,
     )
+    _print_degradations(result.report)
     return 0
 
 
@@ -124,6 +137,7 @@ def _cmd_resize(args: argparse.Namespace) -> int:
         ["algorithm", "res", "mean %", "std"],
         rows,
     )
+    _print_degradations(reduction.report)
     return 0
 
 
@@ -184,6 +198,11 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the per-box fan-out "
         "(default: $REPRO_JOBS or 1 = serial; 0 = all cores)",
     )
+    parser.add_argument(
+        "--metrics-json", type=str, default=None, metavar="PATH",
+        help="write the run's pipeline metrics (repro.metrics/v1 schema: "
+        "counters + span timers) to PATH as JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,7 +261,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    metrics_path = getattr(args, "metrics_json", None)
+    if metrics_path:
+        obs.reset_metrics()  # scope the snapshot to this command
+    code = args.func(args)
+    if metrics_path:
+        obs.write_metrics_json(metrics_path)
+        print(f"wrote metrics to {metrics_path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

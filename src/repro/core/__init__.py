@@ -10,12 +10,20 @@ the co-located VMs with the greedy MCKP algorithm.
 * :mod:`repro.core.executor` — parallel fleet execution engine.
 * :mod:`repro.core.pipeline` — fleet-scale evaluation runs (Figs. 9, 10).
 * :mod:`repro.core.results` — result containers and aggregation.
+* :mod:`repro.core.degrade` — graceful-degradation ladder reporting.
+* :mod:`repro.core.faults` — seeded fault injection for the pipeline.
 """
 
 from repro.core.atm import AtmController, BoxAtmResult
 from repro.core.config import AtmConfig
+from repro.core.degrade import DegradationEvent, ErrorReport
 from repro.core.executor import FleetExecutor, resolve_jobs
-from repro.core.online import OnlineAtmController, OnlineRunResult, run_online_fleet
+from repro.core.online import (
+    OnlineAtmController,
+    OnlineFleetResult,
+    OnlineRunResult,
+    run_online_fleet,
+)
 from repro.core.pipeline import FleetAtmResult, run_fleet_atm
 from repro.core.results import PredictionAccuracy
 
@@ -23,9 +31,12 @@ __all__ = [
     "AtmConfig",
     "AtmController",
     "BoxAtmResult",
+    "DegradationEvent",
+    "ErrorReport",
     "FleetAtmResult",
     "FleetExecutor",
     "OnlineAtmController",
+    "OnlineFleetResult",
     "OnlineRunResult",
     "PredictionAccuracy",
     "resolve_jobs",

@@ -20,7 +20,10 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.core import faults
 from repro.core.config import AtmConfig
+from repro.core.degrade import RUNG_PRIMARY, RUNG_SEASONAL, sanitize_demands
 from repro.core.results import PredictionAccuracy, accuracy_for_box
 from repro.prediction.combined import BoxPrediction, SpatialTemporalPredictor
 from repro.resizing.evaluate import (
@@ -47,11 +50,26 @@ class BoxAtmResult:
 
 
 class AtmController:
-    """ATM for a single box."""
+    """ATM for a single box.
 
-    def __init__(self, box: BoxTrace, config: Optional[AtmConfig] = None) -> None:
+    ``rung`` names the degradation-ladder rung this controller serves
+    (see :mod:`repro.core.degrade`): the default ``"primary"`` runs the
+    configured model on the raw training slice; ``"seasonal_mean"`` is
+    the fallback instantiation the fleet pipeline builds after a primary
+    failure — it sanitizes non-finite training samples (surviving
+    NaN-poisoned slices the primary correctly rejects) and answers to the
+    ``fallback_error`` fault kind instead of ``fit_error``.
+    """
+
+    def __init__(
+        self,
+        box: BoxTrace,
+        config: Optional[AtmConfig] = None,
+        rung: str = RUNG_PRIMARY,
+    ) -> None:
         self.box = box
         self.config = config or AtmConfig()
+        self.rung = rung
         self._predictor: Optional[SpatialTemporalPredictor] = None
         self._train_demands: Optional[np.ndarray] = None
 
@@ -61,7 +79,17 @@ class AtmController:
         windows = train_windows or self.config.training_windows
         windows = min(windows, self.box.n_windows)
         demands = self.box.demand_matrix()[:, :windows]  # stacked CPU+RAM
-        self._predictor = SpatialTemporalPredictor(self.config.prediction).fit(demands)
+        demands = faults.poison_training(self.box.box_id, demands)
+        faults.inject_slow(self.box.box_id)
+        if self.rung == RUNG_PRIMARY:
+            faults.inject_fault("fit_error", self.box.box_id)
+        else:
+            faults.inject_fault("fallback_error", self.box.box_id)
+            demands = sanitize_demands(demands)
+        with obs.span("atm.fit"):
+            self._predictor = SpatialTemporalPredictor(self.config.prediction).fit(
+                demands
+            )
         self._train_demands = demands
         return self
 

@@ -24,6 +24,23 @@ with chunked scheduling, while keeping three guarantees:
 The number of workers is resolved as: explicit ``jobs`` argument →
 ``REPRO_JOBS`` environment variable → 1 (serial).  ``jobs <= 0`` means
 "all available cores".
+
+Robustness knobs (both default off, preserving the fail-fast contract):
+
+* ``retries`` — bounded, deterministic per-item retry: an item that
+  raises is re-invoked up to ``retries`` more times before the exception
+  propagates.  Attempt numbers are published to
+  :mod:`repro.core.faults`, so transient (``once``) injected faults
+  clear on the retry while sticky faults keep failing deterministically.
+* ``timeout`` — wall-clock bound (seconds) on a parallel ``map``; on
+  expiry, queued chunks are cancelled and a ``TimeoutError`` reports how
+  many chunks completed.  The serial path ignores it (nothing to cancel
+  in-process).
+
+Worker observability: each chunk ships its worker-process metrics
+snapshot back with its results, and the parent merges them into the
+session registry — ``jobs=N`` reports the same :mod:`repro.obs` counters
+as ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -32,7 +49,11 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import obs
+from repro.core import faults
 
 __all__ = ["JOBS_ENV_VAR", "FleetExecutor", "resolve_jobs", "default_chunksize"]
 
@@ -76,9 +97,31 @@ def default_chunksize(n_items: int, jobs: int) -> int:
     return max(1, math.ceil(n_items / (max(1, jobs) * 4)))
 
 
-def _run_chunk(fn: Callable[..., R], items: Sequence[Any], common: tuple) -> List[R]:
-    """Worker entry point: apply ``fn`` to each item of one chunk, in order."""
-    return [fn(item, *common) for item in items]
+def _run_item(fn: Callable[..., R], item: Any, common: tuple, retries: int) -> R:
+    """Apply ``fn`` once, retrying up to ``retries`` times on exception."""
+    for attempt in range(retries + 1):
+        try:
+            with faults.attempt_context(attempt):
+                return fn(item, *common)
+        except Exception:
+            if attempt == retries:
+                raise
+            obs.inc("executor.retries")
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_chunk(
+    fn: Callable[..., R], items: Sequence[Any], common: tuple, retries: int
+) -> Tuple[List[R], dict]:
+    """Worker entry point: one chunk, in order, plus the worker's metrics.
+
+    The registry is reset first — fork-started workers inherit the
+    parent's counters, and pool processes run many chunks back to back —
+    so the returned snapshot covers exactly this chunk's work.
+    """
+    obs.reset_metrics()
+    results = [_run_item(fn, item, common, retries) for item in items]
+    return results, obs.metrics_snapshot()
 
 
 class FleetExecutor:
@@ -94,6 +137,12 @@ class FleetExecutor:
     mp_context:
         Multiprocessing start method.  Defaults to ``fork`` where available
         (cheap, inherits loaded modules) and the platform default elsewhere.
+    retries:
+        Extra attempts per item after a first failing call (default 0 =
+        fail fast on the first exception, the pre-existing contract).
+    timeout:
+        Wall-clock bound in seconds for a parallel :meth:`map`; ``None``
+        (default) waits indefinitely.  Ignored on the serial path.
     """
 
     def __init__(
@@ -101,6 +150,8 @@ class FleetExecutor:
         jobs: Optional[int] = None,
         chunksize: Optional[int] = None,
         mp_context: Optional[str] = None,
+        retries: int = 0,
+        timeout: Optional[float] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if chunksize is not None and chunksize < 1:
@@ -109,6 +160,12 @@ class FleetExecutor:
         if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
             mp_context = "fork"
         self.mp_context = mp_context
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
 
     def map(self, fn: Callable[..., R], items: Iterable[T], *common: Any) -> List[R]:
         """Return ``[fn(item, *common) for item in items]``, possibly in parallel.
@@ -121,25 +178,45 @@ class FleetExecutor:
         """
         work = list(items)
         if self.jobs == 1 or len(work) <= 1:
-            return [fn(item, *common) for item in work]
+            obs.inc("executor.items", len(work))
+            return [_run_item(fn, item, common, self.retries) for item in work]
 
         chunk = self.chunksize or default_chunksize(len(work), self.jobs)
         chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
         workers = min(self.jobs, len(chunks))
+        obs.inc("executor.items", len(work))
+        obs.inc("executor.chunks", len(chunks))
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
         )
         results: List[Optional[List[R]]] = [None] * len(chunks)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = {
-                pool.submit(_run_chunk, fn, part, common): index
-                for index, part in enumerate(chunks)
-            }
-            try:
-                for future in as_completed(futures):
-                    results[futures[future]] = future.result()
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        futures = {
+            pool.submit(_run_chunk, fn, part, common, self.retries): index
+            for index, part in enumerate(chunks)
+        }
+        try:
+            for future in as_completed(futures, timeout=self.timeout):
+                part_results, worker_metrics = future.result()
+                results[futures[future]] = part_results
+                obs.merge_snapshot(worker_metrics)
+        except FuturesTimeoutError:
+            for future in futures:
+                future.cancel()
+            # Don't wait for in-flight chunks: a timeout exists precisely
+            # because a worker may be stuck.  Queued chunks are cancelled;
+            # running ones finish in the background.
+            pool.shutdown(wait=False, cancel_futures=True)
+            done = sum(1 for part in results if part is not None)
+            obs.inc("executor.timeouts")
+            raise TimeoutError(
+                f"fleet map timed out after {self.timeout}s with "
+                f"{done}/{len(chunks)} chunks completed"
+            ) from None
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True)
+            raise
+        pool.shutdown(wait=True)
         return [item for part in results for item in part]  # type: ignore[union-attr]

@@ -15,23 +15,51 @@ Because allocations change daily while demands do not depend on them (the
 post-hoc trace assumption the paper itself makes), the rolling run yields a
 day-by-day account of how ATM would have managed the box across the whole
 trace — including its behavior under workload drift.
+
+A production controller must keep running when a model does not: every
+step climbs a graceful-degradation ladder — the configured (neural)
+spatial-temporal predictor first, a per-series seasonal-mean fallback when
+that fit or forecast fails, and finally *hold the current allocation* when
+even the fallback dies.  Each rung transition is recorded as a
+:class:`~repro.core.degrade.DegradationEvent` on the step and the run, so
+a degraded fleet is reported, never silently wrong.  The
+:mod:`repro.core.faults` harness injects fit errors, NaN-poisoned training
+slices and slow boxes to keep the ladder honest in CI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
+from repro.core import faults
 from repro.core.config import AtmConfig
+from repro.core.degrade import (
+    RUNG_FAILED,
+    RUNG_HOLD,
+    RUNG_PRIMARY,
+    RUNG_SEASONAL,
+    DegradationEvent,
+    ErrorReport,
+    sanitize_demands,
+)
 from repro.prediction.combined import SpatialTemporalPredictor
+from repro.prediction.temporal.seasonal import phase_aligned_slot_means_batch
 from repro.resizing.evaluate import ResizingAlgorithm, resize_allocation
 from repro.resizing.problem import ResizingProblem, tickets_for_allocation
 from repro.timeseries.metrics import mean_absolute_percentage_error
 from repro.trace.model import BoxTrace, FleetTrace, Resource
 
-__all__ = ["OnlineStep", "OnlineRunResult", "OnlineAtmController", "run_online_fleet"]
+__all__ = [
+    "OnlineStep",
+    "OnlineRunResult",
+    "OnlineFleetResult",
+    "OnlineAtmController",
+    "run_online_fleet",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +72,20 @@ class OnlineStep:
     tickets_static: int
     tickets_atm: int
     allocation: np.ndarray
+    #: Mean predicted demand of the step (NaN on the hold rung) — lets a
+    #: reader verify that non-refit steps track the advancing window.
+    predicted_mean: float = float("nan")
+    #: Degradation rung that served the step (see repro.core.degrade).
+    rung: str = RUNG_PRIMARY
+    #: repr() of the failure that forced a lower rung, if any.
+    reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Defensive copy: the caller's allocation array stays mutable in
+        # its hands; a frozen step must not change after the fact.
+        object.__setattr__(
+            self, "allocation", np.array(self.allocation, dtype=float)
+        )
 
     @property
     def tickets_avoided(self) -> int:
@@ -56,6 +98,12 @@ class OnlineRunResult:
 
     box_id: str
     steps: List[OnlineStep] = field(default_factory=list)
+    degradations: List[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any step was served below the primary rung."""
+        return bool(self.degradations)
 
     def total_tickets(self, static: bool = False) -> int:
         return sum(s.tickets_static if static else s.tickets_atm for s in self.steps)
@@ -85,9 +133,10 @@ class OnlineAtmController:
         ATM configuration; ``training_windows`` is the sliding-window
         length and ``horizon_windows`` the per-step resizing window.
     refit_every_steps:
-        Re-run the (expensive) signature search and temporal fits only
-        every k steps; intermediate steps reuse the fitted models with the
-        window advanced — the practical deployment compromise.
+        Re-run the (expensive) signature search only every k steps;
+        intermediate steps keep the fitted spatial model but re-anchor the
+        temporal models on the advanced training window — the practical
+        deployment compromise.
     """
 
     def __init__(
@@ -103,6 +152,8 @@ class OnlineAtmController:
         self.refit_every_steps = refit_every_steps
         self._predictor: Optional[SpatialTemporalPredictor] = None
         self._fitted_at_step = -10**9
+        self._anchored_at_step = -10**9
+        self._degradations: List[DegradationEvent] = []
 
     @property
     def n_steps(self) -> int:
@@ -116,14 +167,97 @@ class OnlineAtmController:
         start = cfg.training_windows + step * cfg.horizon_windows
         return start, start + cfg.horizon_windows
 
-    def _fit(self, step: int) -> SpatialTemporalPredictor:
-        cfg = self.config
+    def _training_slice(self, step: int) -> np.ndarray:
         start, _ = self._window_bounds(step)
-        train = self.box.demand_matrix()[:, start - cfg.training_windows : start]
-        predictor = SpatialTemporalPredictor(cfg.prediction).fit(train)
-        self._predictor = predictor
-        self._fitted_at_step = step
-        return predictor
+        train = self.box.demand_matrix()[:, start - self.config.training_windows : start]
+        # Fault hooks: a poisoned slice / slow box, keyed by box id so
+        # healthy boxes are bit-identical to a no-faults run.
+        train = faults.poison_training(self.box.box_id, train)
+        faults.inject_slow(self.box.box_id)
+        return train
+
+    # ------------------------------------------------------- ladder rung 1
+    def _primary_prediction(self, step: int) -> np.ndarray:
+        """Fit/advance the configured predictor and forecast the step."""
+        cfg = self.config
+        train = self._training_slice(step)
+        faults.inject_fault("fit_error", self.box.box_id)
+        if (
+            self._predictor is None
+            or step - self._fitted_at_step >= self.refit_every_steps
+        ):
+            with obs.span("online.fit"):
+                predictor = SpatialTemporalPredictor(cfg.prediction).fit(train)
+            self._predictor = predictor
+            self._fitted_at_step = step
+            self._anchored_at_step = step
+            obs.inc("online.refit")
+        elif step != self._anchored_at_step:
+            # Non-refit step: the signature search is reused, but the
+            # temporal models are re-anchored on the advanced window —
+            # otherwise every intermediate step would replay the
+            # prediction of the last refit verbatim.
+            with obs.span("online.refit_temporal"):
+                self._predictor.refit_temporal(train)
+            self._anchored_at_step = step
+            obs.inc("online.refit_temporal")
+        with obs.span("online.predict"):
+            prediction = self._predictor.predict(cfg.horizon_windows)
+        return prediction.predictions
+
+    # ------------------------------------------------------- ladder rung 2
+    def _fallback_prediction(self, step: int) -> np.ndarray:
+        """Per-series seasonal-mean forecast; robust to poisoned slices.
+
+        Deliberately avoids the signature search (it may be the failing
+        component) and sanitizes non-finite training samples.
+        """
+        faults.inject_fault("fallback_error", self.box.box_id)
+        cfg = self.config
+        period = cfg.prediction.period
+        train = sanitize_demands(self._training_slice(step))
+        with obs.span("online.fallback_fit"):
+            slot_means = phase_aligned_slot_means_batch(train, period)
+            slots = np.arange(cfg.horizon_windows) % period
+            return np.maximum(slot_means[:, slots], 0.0)
+
+    def _predict_step(self, step: int) -> "tuple[Optional[np.ndarray], str, Optional[str]]":
+        """Climb the degradation ladder for one step.
+
+        Returns ``(prediction matrix | None, rung, reason)``; a ``None``
+        matrix means the hold rung — keep the current allocation.
+        """
+        try:
+            return self._primary_prediction(step), RUNG_PRIMARY, None
+        except Exception as exc:
+            # A half-fitted predictor must not serve later steps.
+            self._predictor = None
+            reason = repr(exc)
+            obs.inc("online.fallback.seasonal")
+            self._degradations.append(
+                DegradationEvent(
+                    box_id=self.box.box_id,
+                    stage="fit",
+                    rung=RUNG_SEASONAL,
+                    reason=reason,
+                    step=step,
+                )
+            )
+        try:
+            return self._fallback_prediction(step), RUNG_SEASONAL, reason
+        except Exception as exc:
+            reason = repr(exc)
+            obs.inc("online.fallback.hold")
+            self._degradations.append(
+                DegradationEvent(
+                    box_id=self.box.box_id,
+                    stage="fit",
+                    rung=RUNG_HOLD,
+                    reason=reason,
+                    step=step,
+                )
+            )
+            return None, RUNG_HOLD, reason
 
     def run(self) -> OnlineRunResult:
         """Roll over every available resizing window."""
@@ -135,28 +269,53 @@ class OnlineAtmController:
             )
         cfg = self.config
         result = OnlineRunResult(box_id=self.box.box_id)
+        self._degradations = result.degradations
         m = self.box.n_vms
         demands_all = self.box.demand_matrix()
 
         for step in range(self.n_steps):
-            if (
-                self._predictor is None
-                or step - self._fitted_at_step >= self.refit_every_steps
-            ):
-                predictor = self._fit(step)
-            else:
-                predictor = self._predictor
-            prediction = predictor.predict(cfg.horizon_windows)
+            obs.inc("online.steps")
+            predicted_full, rung, reason = self._predict_step(step)
             start, stop = self._window_bounds(step)
             actual = demands_all[:, start:stop]
 
             for resource in (Resource.CPU, Resource.RAM):
                 rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
-                predicted = np.maximum(prediction.predictions[rows], 0.0)
                 current = self.box.allocations(resource)
                 capacity = self.box.capacity(resource)
-                # Lower bound: yesterday's observed peak.
-                lookback = demands_all[rows, start - self.box.windows_per_day : start]
+                truth = ResizingProblem(
+                    demands=actual[rows],
+                    capacity=capacity,
+                    alpha=cfg.policy.alpha,
+                    upper_bounds=np.full(m, capacity),
+                )
+                tickets_static = tickets_for_allocation(truth, current)
+
+                if predicted_full is None:
+                    # Hold rung: no usable prediction — keep the current
+                    # allocation, score no APE, and report the reason.
+                    result.steps.append(
+                        OnlineStep(
+                            day_index=step,
+                            resource=resource,
+                            ape=float("nan"),
+                            tickets_static=tickets_static,
+                            tickets_atm=tickets_static,
+                            allocation=current,
+                            rung=rung,
+                            reason=reason,
+                        )
+                    )
+                    continue
+
+                predicted = np.maximum(predicted_full[rows], 0.0)
+                # Lower bound: yesterday's observed peak.  Clamp the
+                # lookback at the start of the trace — with a training
+                # window shorter than a day a negative start would wrap
+                # to the tail of the array and fabricate lower bounds
+                # from future demands.
+                lookback_lo = max(0, start - self.box.windows_per_day)
+                lookback = demands_all[rows, lookback_lo:start]
                 lower = np.minimum(lookback.max(axis=1), capacity)
                 problem = ResizingProblem(
                     demands=predicted,
@@ -165,52 +324,112 @@ class OnlineAtmController:
                     lower_bounds=lower,
                     upper_bounds=np.full(m, capacity),
                 )
-                allocation, feasible = resize_allocation(
-                    problem,
-                    ResizingAlgorithm.ATM,
-                    epsilon=cfg.epsilon_pct / 100.0 * current,
-                    current=current,
-                )
+                with obs.span("online.resize"):
+                    allocation, feasible = resize_allocation(
+                        problem,
+                        ResizingAlgorithm.ATM,
+                        epsilon=cfg.epsilon_pct / 100.0 * current,
+                        current=current,
+                    )
                 if not feasible:
+                    obs.inc("online.infeasible")
                     allocation = current
-                truth = ResizingProblem(
-                    demands=actual[rows],
-                    capacity=capacity,
-                    alpha=cfg.policy.alpha,
-                    upper_bounds=np.full(m, capacity),
-                )
                 apes = [
                     mean_absolute_percentage_error(actual[rows][i], predicted[i])
                     for i in range(m)
                 ]
                 apes = [a for a in apes if np.isfinite(a)]
-                result.steps.append(
-                    OnlineStep(
-                        day_index=step,
-                        resource=resource,
-                        ape=float(np.mean(apes)) if apes else float("nan"),
-                        tickets_static=tickets_for_allocation(truth, current),
-                        tickets_atm=tickets_for_allocation(truth, allocation),
-                        allocation=allocation,
-                    )
+                step_record = OnlineStep(
+                    day_index=step,
+                    resource=resource,
+                    ape=float(np.mean(apes)) if apes else float("nan"),
+                    tickets_static=tickets_static,
+                    tickets_atm=tickets_for_allocation(truth, allocation),
+                    allocation=allocation,
+                    predicted_mean=float(predicted.mean()),
+                    rung=rung,
+                    reason=reason,
                 )
+                obs.inc("online.tickets_avoided", step_record.tickets_avoided)
+                result.steps.append(step_record)
         return result
+
+
+class OnlineFleetResult(Mapping[str, OnlineRunResult]):
+    """Partial fleet results plus the structured degradation report.
+
+    Behaves as a read-only mapping ``box_id -> OnlineRunResult`` (so
+    pre-ladder callers keep working) while exposing :attr:`report` with
+    every degradation event and whole-box failure of the run.
+    """
+
+    def __init__(
+        self,
+        results: Optional[Dict[str, OnlineRunResult]] = None,
+        report: Optional[ErrorReport] = None,
+    ) -> None:
+        self.results: Dict[str, OnlineRunResult] = dict(results or {})
+        self.report = report or ErrorReport()
+
+    def __getitem__(self, box_id: str) -> OnlineRunResult:
+        return self.results[box_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineFleetResult({len(self.results)} boxes, "
+            f"{len(self.report.events)} degradation events)"
+        )
 
 
 def run_online_fleet(
     fleet: FleetTrace,
     config: Optional[AtmConfig] = None,
     refit_every_steps: int = 1,
-) -> Dict[str, OnlineRunResult]:
-    """Run the rolling controller on every box long enough to support it."""
+    degrade: bool = True,
+) -> OnlineFleetResult:
+    """Run the rolling controller on every box long enough to support it.
+
+    Per-box failures outside the fit/predict ladder do not abort the
+    fleet: the box is recorded in ``result.report`` (rung ``"failed"``)
+    and the remaining boxes run to completion.  Pass ``degrade=False`` to
+    restore fail-fast propagation of the first per-box exception.
+    """
     cfg = config or AtmConfig()
-    out: Dict[str, OnlineRunResult] = {}
     needed = cfg.training_windows + cfg.horizon_windows
-    for box in fleet:
-        if box.n_windows < needed:
-            continue
-        controller = OnlineAtmController(box, cfg, refit_every_steps=refit_every_steps)
-        out[box.box_id] = controller.run()
-    if not out:
+    eligible = [box for box in fleet if box.n_windows >= needed]
+    if not eligible:
         raise ValueError(f"no box in fleet {fleet.name!r} supports an online run")
-    return out
+
+    results: Dict[str, OnlineRunResult] = {}
+    report = ErrorReport()
+    with obs.span("online.fleet"):
+        for box in eligible:
+            obs.inc("online.boxes")
+            try:
+                faults.inject_fault("box_error", box.box_id)
+                controller = OnlineAtmController(
+                    box, cfg, refit_every_steps=refit_every_steps
+                )
+                result = controller.run()
+            except Exception as exc:
+                if not degrade:
+                    raise
+                obs.inc("online.boxes_failed")
+                report.add(
+                    DegradationEvent(
+                        box_id=box.box_id,
+                        stage="run",
+                        rung=RUNG_FAILED,
+                        reason=repr(exc),
+                    )
+                )
+                continue
+            results[box.box_id] = result
+            report.extend(result.degradations)
+    return OnlineFleetResult(results=results, report=report)

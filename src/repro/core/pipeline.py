@@ -9,15 +9,27 @@ Runs the per-box ATM controller over every box of a fleet and aggregates:
 Per-box runs are independent (the paper deploys ATM per box), so the fleet
 loop fans out across processes through :class:`repro.core.executor.FleetExecutor`
 when ``jobs > 1``; ``jobs=1`` (the default) is the bit-identical serial path.
+
+A failing box degrades instead of aborting the fleet: the per-box unit of
+work climbs the policy ladder (configured model → seasonal-mean fallback →
+reported failure) and :class:`FleetAtmResult.report` carries the structured
+degradation events; healthy boxes are unaffected, bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.core.atm import AtmController, BoxAtmResult
 from repro.core.config import AtmConfig
+from repro.core.degrade import (
+    RUNG_FAILED,
+    RUNG_SEASONAL,
+    DegradationEvent,
+    ErrorReport,
+)
 from repro.core.executor import FleetExecutor
 from repro.core.results import PredictionAccuracy, ape_cdf
 from repro.resizing.evaluate import FleetReduction, ResizingAlgorithm
@@ -36,6 +48,9 @@ class FleetAtmResult:
     accuracies: List[PredictionAccuracy] = field(default_factory=list)
     reduction: FleetReduction = field(default_factory=FleetReduction)
     box_results: List[BoxAtmResult] = field(default_factory=list)
+    #: Structured degradation report: which boxes fell back to the
+    #: seasonal-mean rung, which failed outright, and why.
+    report: ErrorReport = field(default_factory=ErrorReport)
 
     # ---------------------------------------------------------------- Fig. 9
     def ape_cdf(self, peak: bool = False) -> Optional[Ecdf]:
@@ -58,9 +73,57 @@ class FleetAtmResult:
         return finite_mean([a.signature_ratio for a in self.accuracies])
 
 
-def _run_box_atm(box, config: AtmConfig) -> BoxAtmResult:
-    """Per-box unit of work; module-level so pool workers can unpickle it."""
-    return AtmController(box, config).run()
+def _seasonal_fallback_config(config: AtmConfig) -> AtmConfig:
+    """The same ATM setup with the temporal model downgraded to seasonal-mean."""
+    return replace(
+        config,
+        prediction=replace(config.prediction, temporal_model="seasonal_mean"),
+    )
+
+
+def _run_box_atm(
+    box, config: AtmConfig, degrade: bool
+) -> Tuple[Optional[BoxAtmResult], List[DegradationEvent]]:
+    """Per-box unit of work; module-level so pool workers can unpickle it.
+
+    Climbs the degradation ladder: the configured model first; on failure
+    a seasonal-mean fallback run (with sanitized training data); on a
+    second failure the box is reported as failed (``None`` result) rather
+    than aborting the fleet.  ``degrade=False`` restores fail-fast.
+    """
+    events: List[DegradationEvent] = []
+    try:
+        with obs.span("pipeline.box_run"):
+            return AtmController(box, config).run(), events
+    except Exception as exc:
+        if not degrade:
+            raise
+        obs.inc("pipeline.fallback.seasonal")
+        events.append(
+            DegradationEvent(
+                box_id=box.box_id,
+                stage="fit",
+                rung=RUNG_SEASONAL,
+                reason=repr(exc),
+            )
+        )
+    try:
+        with obs.span("pipeline.box_run_fallback"):
+            result = AtmController(
+                box, _seasonal_fallback_config(config), rung=RUNG_SEASONAL
+            ).run()
+        return result, events
+    except Exception as exc:
+        obs.inc("pipeline.boxes_failed")
+        events.append(
+            DegradationEvent(
+                box_id=box.box_id,
+                stage="fit",
+                rung=RUNG_FAILED,
+                reason=repr(exc),
+            )
+        )
+        return None, events
 
 
 def run_fleet_atm(
@@ -69,6 +132,7 @@ def run_fleet_atm(
     keep_box_results: bool = False,
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
+    degrade: bool = True,
 ) -> FleetAtmResult:
     """Run ATM end-to-end on every box of a fleet.
 
@@ -89,6 +153,10 @@ def run_fleet_atm(
     chunksize:
         Boxes per scheduled pool task (parallel path only); defaults to
         ~4 chunks per worker.
+    degrade:
+        Climb the per-box policy ladder on failure (default), collecting
+        partial results plus ``result.report``; ``False`` restores the
+        fail-fast behaviour where the first box exception propagates.
     """
     cfg = config or AtmConfig()
     out = FleetAtmResult(config=cfg)
@@ -99,8 +167,13 @@ def run_fleet_atm(
             f"no box in fleet {fleet.name!r} has the {needed} windows required"
         )
     executor = FleetExecutor(jobs=jobs, chunksize=chunksize)
-    results = executor.map(_run_box_atm, eligible, cfg)
-    for result in results:
+    obs.inc("pipeline.boxes", len(eligible))
+    with obs.span("pipeline.fleet"):
+        results = executor.map(_run_box_atm, eligible, cfg, degrade)
+    for result, events in results:
+        out.report.extend(events)
+        if result is None:
+            continue
         out.accuracies.append(result.accuracy)
         for reduction in result.reductions.values():
             out.reduction.add(reduction)

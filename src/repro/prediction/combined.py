@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.prediction.base import TemporalPredictor
 from repro.prediction.registry import fit_temporal_batch, make_temporal_model
 from repro.prediction.temporal.batched import batched_temporal_enabled
@@ -106,27 +107,61 @@ class SpatialTemporalPredictor:
         arr = np.asarray(train_matrix, dtype=float)
         if arr.ndim != 2:
             raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
-        spatial = search_signature_set(arr, self.config.search)
-        indices = list(spatial.signature_indices)
-        fitted = None
-        if indices and batched_temporal_enabled():
-            # One vectorized pass over all signature series of the box
-            # (REPRO_BATCHED_TEMPORAL=0 forces the per-series loop below).
-            fitted = fit_temporal_batch(
-                self.config.temporal_model,
-                [arr[idx] for idx in indices],
-                period=self.config.period,
-            )
-        if fitted is None:
-            fitted = [
-                make_temporal_model(
-                    self.config.temporal_model, period=self.config.period
-                ).fit(arr[idx])
-                for idx in indices
-            ]
-        temporal: Dict[int, TemporalPredictor] = dict(zip(indices, fitted))
+        obs.inc("predict.fits")
+        with obs.span("predict.signature_search"):
+            spatial = search_signature_set(arr, self.config.search)
         self._spatial = spatial
-        self._temporal = temporal
+        self._temporal = self._fit_temporal(arr)
+        self._train = arr
+        return self
+
+    def _fit_temporal(self, arr: np.ndarray) -> Dict[int, TemporalPredictor]:
+        """Fit one temporal model per signature series of ``arr``."""
+        assert self._spatial is not None
+        indices = list(self._spatial.signature_indices)
+        with obs.span("predict.temporal_fit"):
+            fitted = None
+            if indices and batched_temporal_enabled():
+                # One vectorized pass over all signature series of the box
+                # (REPRO_BATCHED_TEMPORAL=0 forces the per-series loop below).
+                fitted = fit_temporal_batch(
+                    self.config.temporal_model,
+                    [arr[idx] for idx in indices],
+                    period=self.config.period,
+                )
+            if fitted is None:
+                fitted = [
+                    make_temporal_model(
+                        self.config.temporal_model, period=self.config.period
+                    ).fit(arr[idx])
+                    for idx in indices
+                ]
+        return dict(zip(indices, fitted))
+
+    def refit_temporal(
+        self, train_matrix: Sequence[Sequence[float]]
+    ) -> "SpatialTemporalPredictor":
+        """Re-anchor the temporal models on a new training window.
+
+        Keeps the fitted spatial model (signature set and reconstruction
+        weights — the expensive search) but refits the per-signature
+        temporal models on ``train_matrix``, so forecasts continue from
+        the advanced window.  This is the online controller's non-refit
+        step: cheap relative to a full :meth:`fit`, yet anchored to the
+        data the step actually follows.
+        """
+        if self._spatial is None:
+            raise RuntimeError("predictor has not been fitted")
+        arr = np.asarray(train_matrix, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
+        if self._train is not None and arr.shape[0] != self._train.shape[0]:
+            raise ValueError(
+                f"train matrix has {arr.shape[0]} series; the fitted spatial "
+                f"model expects {self._train.shape[0]}"
+            )
+        obs.inc("predict.temporal_refits")
+        self._temporal = self._fit_temporal(arr)
         self._train = arr
         return self
 
@@ -139,7 +174,8 @@ class SpatialTemporalPredictor:
         signature_forecasts = np.vstack(
             [self._temporal[idx].predict(horizon) for idx in self._spatial.signature_indices]
         )
-        full = self._spatial.reconstruct(signature_forecasts)
+        with obs.span("predict.reconstruct"):
+            full = self._spatial.reconstruct(signature_forecasts)
         full = np.clip(full, self.config.clip_min, np.inf)
         if self.config.clip_max is not None:
             full = np.minimum(full, self.config.clip_max)

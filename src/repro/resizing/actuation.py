@@ -14,7 +14,7 @@ protocol against ``/sys/fs/cgroup``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Protocol, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.trace.model import Resource
 
@@ -115,7 +115,9 @@ class SimulatedCgroupsActuator:
             self._log.append(change)
         return changes
 
-    def _check_host_budget(self, limits: Dict[Tuple[str, Resource], float] = None) -> None:
+    def _check_host_budget(
+        self, limits: Optional[Dict[Tuple[str, Resource], float]] = None
+    ) -> None:
         limits = self._limits if limits is None else limits
         for resource, capacity in self._host_capacity.items():
             total = sum(

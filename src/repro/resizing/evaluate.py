@@ -30,6 +30,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.core import faults
+from repro.core.degrade import RUNG_FAILED, DegradationEvent, ErrorReport
 from repro.resizing.baselines import max_min_fairness_allocation, stingy_allocation
 from repro.resizing.greedy import solve_greedy
 from repro.resizing.mckp import build_mckp
@@ -171,6 +174,8 @@ class FleetReduction:
     """Aggregated ticket reductions across a fleet (one Fig. 8/10 bar each)."""
 
     results: List[BoxReduction] = field(default_factory=list)
+    #: Boxes that failed during the fleet sweep (partial-results report).
+    report: ErrorReport = field(default_factory=ErrorReport)
 
     def add(self, result: BoxReduction) -> None:
         self.results.append(result)
@@ -274,6 +279,7 @@ def evaluate_box_resizing(
             problem, algorithm, epsilon=epsilon, current=current
         )
         if not feasible:
+            obs.inc("resize.infeasible")
             allocation = current  # degrade to the status quo
         after = tickets_for_allocation(truth, allocation)
         out.append(
@@ -296,26 +302,48 @@ def _evaluate_box_worker(
     algorithms: Sequence[ResizingAlgorithm],
     eval_windows: Optional[int],
     epsilon_pct: float,
-) -> List[BoxReduction]:
-    """Per-box unit of work for the fleet sweep (module-level: picklable)."""
+    degrade: bool,
+) -> Tuple[List[BoxReduction], List[DegradationEvent]]:
+    """Per-box unit of work for the fleet sweep (module-level: picklable).
+
+    A failing box yields an empty result plus a ``failed`` degradation
+    event instead of aborting the sweep (``degrade=False`` restores the
+    fail-fast propagation).
+    """
     box, sizing_by_resource = item
     out: List[BoxReduction] = []
-    for resource in resources:
-        demands = box.demand_matrix(resource)
-        if eval_windows is not None:
-            demands = demands[:, : min(eval_windows, demands.shape[1])]
-        out.extend(
-            evaluate_box_resizing(
-                box,
-                resource,
-                policy,
-                algorithms,
-                eval_demands=demands,
-                sizing_demands=sizing_by_resource.get(resource),
-                epsilon_pct=epsilon_pct,
+    try:
+        faults.inject_slow(box.box_id)
+        faults.inject_fault("box_error", box.box_id)
+        with obs.span("resize.box"):
+            for resource in resources:
+                demands = box.demand_matrix(resource)
+                if eval_windows is not None:
+                    demands = demands[:, : min(eval_windows, demands.shape[1])]
+                out.extend(
+                    evaluate_box_resizing(
+                        box,
+                        resource,
+                        policy,
+                        algorithms,
+                        eval_demands=demands,
+                        sizing_demands=sizing_by_resource.get(resource),
+                        epsilon_pct=epsilon_pct,
+                    )
+                )
+    except Exception as exc:
+        if not degrade:
+            raise
+        obs.inc("resize.boxes_failed")
+        return [], [
+            DegradationEvent(
+                box_id=box.box_id,
+                stage="run",
+                rung=RUNG_FAILED,
+                reason=repr(exc),
             )
-        )
-    return out
+        ]
+    return out, []
 
 
 def evaluate_fleet_resizing(
@@ -327,6 +355,7 @@ def evaluate_fleet_resizing(
     epsilon_pct: float = 5.0,
     resources: Sequence[Resource] = (Resource.CPU, Resource.RAM),
     jobs: Optional[int] = None,
+    degrade: bool = True,
 ) -> FleetReduction:
     """Run the resizing comparison across a fleet (the Fig. 8 study).
 
@@ -344,6 +373,9 @@ def evaluate_fleet_resizing(
         ``REPRO_JOBS``, default 1 = serial).  Each worker receives the
         pickled boxes of its chunk plus their sizing matrices; results are
         aggregated in fleet box order for any worker count.
+    degrade:
+        Collect partial results on per-box failures (default), reporting
+        them in ``result.report``; ``False`` restores fail-fast.
     """
     from repro.core.executor import FleetExecutor
 
@@ -358,17 +390,21 @@ def evaluate_fleet_resizing(
         items.append((box, sizing_by_resource))
 
     executor = FleetExecutor(jobs=jobs)
-    per_box = executor.map(
-        _evaluate_box_worker,
-        items,
-        tuple(resources),
-        policy,
-        tuple(algorithms),
-        eval_windows,
-        epsilon_pct,
-    )
+    obs.inc("resize.boxes", len(items))
+    with obs.span("resize.fleet"):
+        per_box = executor.map(
+            _evaluate_box_worker,
+            items,
+            tuple(resources),
+            policy,
+            tuple(algorithms),
+            eval_windows,
+            epsilon_pct,
+            degrade,
+        )
     summary = FleetReduction()
-    for results in per_box:
+    for results, events in per_box:
+        summary.report.extend(events)
         for result in results:
             summary.add(result)
     return summary

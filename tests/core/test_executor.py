@@ -56,6 +56,31 @@ def _poison_or_sleep(item, out_dir):
     return item
 
 
+def _fail_until_marked(item, out_dir):
+    """Item 2 fails on its first attempt, then succeeds (file-based state
+    so the transient failure is visible across pool worker processes)."""
+    marker = os.path.join(out_dir, f"tried-{item}")
+    if item == 2 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("transient glitch")
+    return item * 10
+
+
+def _inject_box_error(item):
+    from repro.core import faults as _faults
+
+    _faults.inject_fault("box_error", f"item-{item}")
+    return item
+
+
+def _sleep_item(item):
+    import time as _time
+
+    _time.sleep(3.0)
+    return item
+
+
 @pytest.fixture()
 def atm_config():
     return AtmConfig.with_clustering(ClusteringMethod.CBC, temporal_model="seasonal_mean")
@@ -136,6 +161,79 @@ class TestFleetExecutorMap:
     def test_single_item_stays_in_process(self):
         # len(items) <= 1 short-circuits to the serial path even with jobs>1.
         assert FleetExecutor(jobs=4).map(_square, [5]) == [25]
+
+
+class TestRetries:
+    def test_serial_retry_recovers_transient_failure(self, tmp_path):
+        from repro import obs
+
+        obs.reset_metrics()
+        result = FleetExecutor(jobs=1, retries=1).map(
+            _fail_until_marked, list(range(4)), str(tmp_path)
+        )
+        assert result == [0, 10, 20, 30]
+        assert obs.metrics_snapshot()["counters"]["executor.retries"] == 1
+
+    def test_no_retries_keeps_fail_fast_contract(self, tmp_path):
+        with pytest.raises(RuntimeError, match="transient glitch"):
+            FleetExecutor(jobs=1, retries=0).map(
+                _fail_until_marked, list(range(4)), str(tmp_path)
+            )
+
+    def test_parallel_retry_recovers_transient_failure(self, tmp_path):
+        result = FleetExecutor(jobs=2, chunksize=1, retries=1).map(
+            _fail_until_marked, list(range(4)), str(tmp_path)
+        )
+        assert result == [0, 10, 20, 30]
+
+    def test_sticky_failure_exhausts_retries(self, tmp_path):
+        # Item 2's marker pre-exists being absent only helps once; a fresh
+        # failure every attempt must still propagate after the budget.
+        with pytest.raises(RuntimeError, match="boom"):
+            FleetExecutor(jobs=1, retries=3).map(_maybe_fail, list(range(6)))
+
+    def test_once_fault_clears_on_retry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:once")
+        assert FleetExecutor(jobs=1, retries=1).map(
+            _inject_box_error, list(range(3))
+        ) == [0, 1, 2]
+
+    def test_once_fault_without_retries_fails(self, monkeypatch):
+        from repro.core.faults import InjectedFault
+
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:once")
+        with pytest.raises(InjectedFault):
+            FleetExecutor(jobs=1, retries=0).map(_inject_box_error, list(range(3)))
+
+    def test_once_fault_clears_in_pool_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:once")
+        assert FleetExecutor(jobs=2, chunksize=1, retries=1).map(
+            _inject_box_error, list(range(3))
+        ) == [0, 1, 2]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            FleetExecutor(jobs=1, retries=-1)
+
+
+class TestTimeout:
+    def test_parallel_map_times_out(self):
+        with pytest.raises(TimeoutError, match="timed out"):
+            FleetExecutor(jobs=2, chunksize=1, timeout=0.3).map(
+                _sleep_item, list(range(2))
+            )
+
+    def test_generous_timeout_is_harmless(self):
+        result = FleetExecutor(jobs=2, timeout=120.0).map(_square, list(range(6)))
+        assert result == [x * x for x in range(6)]
+
+    def test_serial_path_ignores_timeout(self):
+        # Nothing to cancel in-process: the bound applies to pool waits only.
+        assert FleetExecutor(jobs=1, timeout=0.001).map(_square, [1, 2]) == [1, 4]
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            FleetExecutor(jobs=1, timeout=0.0)
 
 
 class TestParallelSerialEquivalence:

@@ -85,11 +85,96 @@ class TestController:
         assert all(s.resource is Resource.CPU for s in cpu_steps)
 
 
+class TestRefitCadenceAdvancesContext:
+    """Regression: non-refit steps must track the advancing training window.
+
+    Before the fix, ``refit_every_steps > 1`` kept the entire predictor
+    frozen between refits, so every intermediate step replayed the last
+    refit's forecast verbatim — day 2 was "predicted" with day 1's output.
+    Now the spatial model is reused but the temporal models re-anchor on
+    the advanced window, which the per-step ``predicted_mean`` exposes.
+    """
+
+    def test_non_refit_step_prediction_advances(self, week_box, config):
+        lazy = OnlineAtmController(week_box, config, refit_every_steps=10).run()
+        for resource in (Resource.CPU, Resource.RAM):
+            steps = lazy.steps_for(resource)
+            assert len(steps) == 2
+            # Step 1 never re-ran the signature search, yet its forecast
+            # differs from step 0's because the training window moved.
+            assert steps[0].predicted_mean != steps[1].predicted_mean
+
+    def test_refit_temporal_requires_fit(self, week_box, config):
+        from repro.prediction.combined import SpatialTemporalPredictor
+
+        predictor = SpatialTemporalPredictor(config.prediction)
+        with pytest.raises(RuntimeError, match="not been fitted"):
+            predictor.refit_temporal(week_box.demand_matrix()[:, :480])
+
+    def test_refit_temporal_rejects_series_mismatch(self, week_box, config):
+        from repro.prediction.combined import SpatialTemporalPredictor
+
+        train = week_box.demand_matrix()[:, :480]
+        predictor = SpatialTemporalPredictor(config.prediction).fit(train)
+        with pytest.raises(ValueError, match="series"):
+            predictor.refit_temporal(train[:-1])
+
+
+class TestShortTrainingWindow:
+    """Regression: a training window shorter than one day used to crash.
+
+    With ``training_windows < windows_per_day`` the first step's lookback
+    slice ``demands[:, start - windows_per_day : start]`` had a negative
+    start, which numpy wraps to the array's tail: an empty slice whose
+    ``max(axis=1)`` raised. The lookback is now clamped at the trace start.
+    """
+
+    def test_sub_day_training_window_runs(self, week_box):
+        config = AtmConfig.with_clustering(
+            ClusteringMethod.CBC,
+            temporal_model="seasonal_mean",
+            training_windows=48,  # half a 96-window day
+        )
+        result = OnlineAtmController(week_box, config).run()
+        assert len(result.steps) == 2 * 6  # (672 - 48) // 96 steps x 2 resources
+        for step in result.steps:
+            capacity = week_box.capacity(step.resource)
+            assert step.allocation.sum() <= capacity + 1e-6
+
+
+class TestStepImmutability:
+    """Regression: a frozen OnlineStep stored the caller's mutable array."""
+
+    def test_allocation_is_defensively_copied(self):
+        from repro.core.online import OnlineStep
+
+        allocation = np.array([1.0, 2.0, 3.0])
+        step = OnlineStep(
+            day_index=0,
+            resource=Resource.CPU,
+            ape=1.0,
+            tickets_static=2,
+            tickets_atm=1,
+            allocation=allocation,
+        )
+        allocation[:] = -1.0
+        assert np.array_equal(step.allocation, [1.0, 2.0, 3.0])
+
+
 class TestFleetRunner:
     def test_runs_eligible_boxes(self, config):
         fleet = generate_fleet(FleetConfig(n_boxes=3, days=7, seed=62))
         results = run_online_fleet(fleet, config)
         assert len(results) == 3
+
+    def test_fleet_result_is_a_mapping(self, config):
+        fleet = generate_fleet(FleetConfig(n_boxes=3, days=7, seed=62))
+        results = run_online_fleet(fleet, config)
+        assert set(results) == {box.box_id for box in fleet}
+        assert sorted(results.items())[0][0] == sorted(results)[0]
+        for box_id, result in results.items():
+            assert results[box_id] is result
+        assert results.report.ok  # healthy run -> empty report
 
     def test_no_eligible_boxes_rejected(self, config):
         fleet = generate_fleet(FleetConfig(n_boxes=2, days=1, seed=3))

@@ -76,3 +76,46 @@ class TestApplyLimits:
         assert changes[0].old_limit == 8.0
         assert changes[0].new_limit == 6.0
         assert changes[0].resource is Resource.RAM
+
+
+class TestAllOrNothing:
+    """A rejected batch must leave limits and the audit log untouched —
+    a half-applied resize would leave the box in a state ATM never chose."""
+
+    def _snapshot(self, actuator):
+        return {
+            (vm, res): actuator.current_limit(vm, res)
+            for vm in ("vm-a", "vm-b")
+            for res in (Resource.CPU, Resource.RAM)
+        }
+
+    def test_nonpositive_limit_rolls_back_whole_batch(self, actuator):
+        before = self._snapshot(actuator)
+        with pytest.raises(ValueError):
+            actuator.apply_limits(
+                2, {("vm-a", Resource.CPU): 6.0, ("vm-b", Resource.CPU): -1.0}
+            )
+        assert self._snapshot(actuator) == before
+        assert actuator.change_log == []
+
+    def test_unknown_vm_rolls_back_whole_batch(self, actuator):
+        before = self._snapshot(actuator)
+        with pytest.raises(KeyError):
+            actuator.apply_limits(
+                2, {("vm-a", Resource.CPU): 6.0, ("ghost", Resource.CPU): 1.0}
+            )
+        assert self._snapshot(actuator) == before
+        assert actuator.change_log == []
+
+    def test_over_budget_mixed_batch_rolls_back(self, actuator):
+        before = self._snapshot(actuator)
+        with pytest.raises(ValueError, match="exceed host"):
+            actuator.apply_limits(
+                2, {("vm-a", Resource.RAM): 2.0, ("vm-b", Resource.RAM): 15.0}
+            )
+        assert self._snapshot(actuator) == before
+
+    def test_budget_check_defaults_to_enforced_limits(self, actuator):
+        # Regression: the no-argument form used to annotate its parameter
+        # as a plain (non-Optional) Dict while defaulting to None.
+        assert actuator._check_host_budget() is None

@@ -88,3 +88,52 @@ class TestJobsFlag:
     def test_resize_with_parallel_jobs(self, capsys):
         assert main(["resize", "--boxes", "4", "--seed", "3", "--jobs", "2"]) == 0
         assert "stingy" in capsys.readouterr().out
+
+
+class TestMetricsJson:
+    def test_flag_defaults_to_none(self):
+        assert build_parser().parse_args(["predict"]).metrics_json is None
+        assert build_parser().parse_args(["resize"]).metrics_json is None
+
+    def test_resize_writes_schema_valid_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["resize", "--boxes", "3", "--seed", "3", "--metrics-json", str(path)]
+        )
+        assert code == 0
+        assert f"wrote metrics to {path}" in capsys.readouterr().out
+
+        data = json.loads(path.read_text())
+        assert data["schema"] == obs.METRICS_SCHEMA
+        assert set(data) == {"schema", "counters", "spans"}
+        assert data["counters"]["resize.boxes"] == 3
+        for stat in data["spans"].values():
+            assert set(stat) == {"count", "total_s", "max_s"}
+            assert stat["count"] >= 1
+
+    def test_predict_reports_degraded_boxes(self, tmp_path, capsys, monkeypatch):
+        # One injected primary-fit failure: the command still exits 0, the
+        # box falls back to the seasonal rung, and the table says so.
+        monkeypatch.setenv("REPRO_FAULTS", "fit_error:p=1.0")
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "predict",
+                "--boxes", "2",
+                "--seed", "3",
+                "--temporal", "seasonal_mean",
+                "--metrics-json", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Degraded boxes" in out
+        assert "seasonal_mean" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["counters"]["pipeline.fallback.seasonal"] == 2

@@ -1,0 +1,119 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        obs.inc("a.b")
+        obs.inc("a.b", 2.5)
+        assert obs.metrics_snapshot()["counters"]["a.b"] == 3.5
+
+    def test_disabled_is_noop(self, monkeypatch):
+        monkeypatch.setenv(obs.METRICS_ENV_VAR, "0")
+        obs.inc("a.b")
+        with obs.span("s"):
+            pass
+        snap = obs.metrics_snapshot()
+        assert snap["counters"] == {}
+        assert snap["spans"] == {}
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(obs.METRICS_ENV_VAR, raising=False)
+        assert obs.metrics_enabled()
+
+
+class TestSpans:
+    def test_span_records_count_and_time(self):
+        for _ in range(3):
+            with obs.span("work"):
+                pass
+        stat = obs.metrics_snapshot()["spans"]["work"]
+        assert stat["count"] == 3
+        assert stat["total_s"] >= 0.0
+        assert stat["max_s"] <= stat["total_s"]
+
+    def test_span_survives_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("bad"):
+                raise RuntimeError("boom")
+        assert obs.metrics_snapshot()["spans"]["bad"]["count"] == 1
+
+
+class TestSnapshot:
+    def test_schema_stamp(self):
+        assert obs.metrics_snapshot()["schema"] == obs.METRICS_SCHEMA
+
+    def test_merge_adds_counters_and_spans(self):
+        worker = obs.MetricsRegistry()
+        worker.inc("boxes", 2)
+        with worker.span("fit"):
+            pass
+        obs.inc("boxes", 1)
+        obs.merge_snapshot(worker.snapshot())
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["boxes"] == 3
+        assert snap["spans"]["fit"]["count"] == 1
+
+    def test_merge_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            obs.merge_snapshot({"schema": "bogus/v0"})
+
+    def test_merge_takes_span_max(self):
+        a = obs.MetricsRegistry()
+        a.spans["s"] = obs.SpanStat(count=1, total_s=1.0, max_s=1.0)
+        obs.get_registry().spans["s"] = obs.SpanStat(count=2, total_s=0.5, max_s=0.25)
+        obs.merge_snapshot(a.snapshot())
+        stat = obs.get_registry().spans["s"]
+        assert stat.count == 3
+        assert stat.total_s == 1.5
+        assert stat.max_s == 1.0
+
+    def test_write_metrics_json(self, tmp_path):
+        obs.inc("x", 4)
+        path = tmp_path / "metrics.json"
+        obs.write_metrics_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["schema"] == obs.METRICS_SCHEMA
+        assert data["counters"]["x"] == 4
+        assert set(data) == {"schema", "counters", "spans"}
+
+
+class TestExecutorIntegration:
+    def test_parallel_counters_match_serial(self):
+        """Worker snapshots merge: jobs=2 reports the same work as jobs=1."""
+        from repro.core.executor import FleetExecutor
+        from repro.core.pipeline import run_fleet_atm
+        from repro.core.config import AtmConfig
+        from repro.prediction.spatial.signatures import ClusteringMethod
+        from repro.trace.generator import FleetConfig, generate_fleet
+
+        fleet = generate_fleet(FleetConfig(n_boxes=3, days=6, seed=17), name="obs")
+        config = AtmConfig.with_clustering(
+            ClusteringMethod.CBC, temporal_model="seasonal_mean"
+        )
+
+        obs.reset_metrics()
+        run_fleet_atm(fleet, config, jobs=1)
+        serial = obs.metrics_snapshot()
+
+        obs.reset_metrics()
+        run_fleet_atm(fleet, config, jobs=2, chunksize=1)
+        parallel = obs.metrics_snapshot()
+
+        assert serial["counters"]["predict.fits"] == 3
+        assert parallel["counters"]["predict.fits"] == 3
+        # The parallel run additionally reports its chunk bookkeeping.
+        assert parallel["counters"]["executor.chunks"] == 3
+        assert FleetExecutor(jobs=1).jobs == 1  # sanity: knob untouched
