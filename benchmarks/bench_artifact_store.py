@@ -1,0 +1,258 @@
+"""Artifact store — warm-vs-cold wall clock for ablation sweeps.
+
+The staged pipeline materializes signature searches, forecasts and box
+results in the content-addressed store (``REPRO_STORE``).  This bench
+measures what that buys the workflows the store was built for:
+
+* an ε/horizon ablation sweep over one fleet, run cold (empty store)
+  and warm (second invocation against the populated store, in-process
+  memory tiers cleared so only the disk tier serves); the warm sweep
+  must be ≥ 2x faster;
+* a parallel (jobs=N) fleet run repeated against the same store: the
+  second run must perform **zero** signature searches — pool workers
+  persist their results instead of losing them with the pool.
+
+Aggregates of every warm run are digest-checked against the cold run:
+the store may only change wall clock, never results.
+
+Results land in ``BENCH_store.json``.
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_artifact_store.py [--quick]
+        [--boxes N] [--output PATH]
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.benchhelpers import print_table
+from repro.core import AtmConfig, run_fleet_atm
+from repro.prediction.combined import SpatialTemporalConfig
+from repro.prediction.spatial.signatures import SignatureSearchConfig
+from repro.store import STORE_ENV_VAR, clear_memory_tiers
+from repro.trace.generator import FleetConfig, generate_fleet
+
+pytestmark = pytest.mark.slow
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+EPSILONS = (2.5, 5.0, 10.0)
+HORIZONS = (48, 96)
+TARGET_SPEEDUP = 2.0
+
+
+def _fleet(n_boxes: int):
+    return generate_fleet(
+        FleetConfig(n_boxes=n_boxes, days=6, seed=20160630), name="bench-store"
+    )
+
+
+def _config(temporal_model: str) -> AtmConfig:
+    return AtmConfig(
+        prediction=SpatialTemporalConfig(
+            search=SignatureSearchConfig(),
+            temporal_model=temporal_model,
+        )
+    )
+
+
+def _digest(results) -> str:
+    """Order-preserving digest of a sweep's aggregates (repr keeps bits)."""
+    payload = repr(
+        [
+            (
+                r.accuracies,
+                [
+                    (x.box_id, x.resource, x.algorithm, x.tickets_before, x.tickets_after)
+                    for x in r.reduction.results
+                ],
+            )
+            for r in results
+        ]
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def _run_sweep(fleet, config: AtmConfig):
+    """One ε + horizon ablation sweep; returns its fleet results."""
+    results = []
+    for epsilon in EPSILONS:
+        results.append(run_fleet_atm(fleet, replace(config, epsilon_pct=epsilon)))
+    for horizon in HORIZONS:
+        results.append(run_fleet_atm(fleet, replace(config, horizon_windows=horizon)))
+    return results
+
+
+def _timed_sweep(fleet, config):
+    clear_memory_tiers()
+    obs.reset_metrics()
+    start = time.perf_counter()
+    results = _run_sweep(fleet, config)
+    seconds = time.perf_counter() - start
+    counters = obs.metrics_snapshot()["counters"]
+    return {
+        "seconds": seconds,
+        "digest": _digest(results),
+        "signature_searches": int(counters.get("spatial.search.computed", 0)),
+        "fits": int(counters.get("predict.fits", 0)),
+        "forecast_hits": int(counters.get("stages.forecast.hits", 0)),
+    }
+
+
+def _parallel_zero_search_check(fleet, config, jobs: int = 2):
+    clear_memory_tiers()
+    obs.reset_metrics()
+    first = run_fleet_atm(fleet, config, jobs=jobs, chunksize=1)
+    first_searches = int(
+        obs.metrics_snapshot()["counters"].get("spatial.search.computed", 0)
+    )
+    clear_memory_tiers()
+    obs.reset_metrics()
+    second = run_fleet_atm(fleet, config, jobs=jobs, chunksize=1)
+    second_searches = int(
+        obs.metrics_snapshot()["counters"].get("spatial.search.computed", 0)
+    )
+    assert _digest([first]) == _digest([second]), "parallel store run changed results"
+    return {"jobs": jobs, "first_run": first_searches, "second_run": second_searches}
+
+
+def _store_stats(root: Path):
+    files = [p for p in root.rglob("*.npz")]
+    return {
+        "artifacts": len(files),
+        "bytes": int(sum(p.stat().st_size for p in files)),
+    }
+
+
+def run_bench(n_boxes: int, temporal_model: str, enforce: bool) -> dict:
+    fleet = _fleet(n_boxes)
+    config = _config(temporal_model)
+    previous = os.environ.get(STORE_ENV_VAR)
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as root:
+        os.environ[STORE_ENV_VAR] = root
+        try:
+            cold = _timed_sweep(fleet, config)
+            warm = _timed_sweep(fleet, config)
+            parallel = _parallel_zero_search_check(fleet, config)
+            stats = _store_stats(Path(root))
+        finally:
+            if previous is None:
+                os.environ.pop(STORE_ENV_VAR, None)
+            else:
+                os.environ[STORE_ENV_VAR] = previous
+            clear_memory_tiers()
+
+    speedup = cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else float("inf")
+    report = {
+        "bench": "artifact_store",
+        "fleet": f"bench-store-{n_boxes} (seed 20160630)",
+        "temporal_model": temporal_model,
+        "sweep": {
+            "epsilons_pct": list(EPSILONS),
+            "horizons": list(HORIZONS),
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": speedup,
+            "results_identical": cold["digest"] == warm["digest"],
+        },
+        "parallel_signature_searches": parallel,
+        "store": stats,
+    }
+
+    assert report["sweep"]["results_identical"], "warm sweep changed results"
+    assert warm["signature_searches"] == 0, "warm sweep recomputed searches"
+    # Every (ε, horizon) combination was materialized by the cold sweep, so
+    # the warm sweep serves all forecasts from disk and refits nothing.
+    assert warm["fits"] == 0, "warm sweep recomputed temporal fits"
+    assert parallel["second_run"] == 0, "second jobs=N run recomputed searches"
+    if enforce:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"expected warm sweep >= {TARGET_SPEEDUP}x faster, "
+            f"measured {speedup:.2f}x"
+        )
+    return report
+
+
+def _print_report(report: dict) -> None:
+    sweep = report["sweep"]
+    print_table(
+        f"Artifact store — ε{sweep['epsilons_pct']} + horizon{sweep['horizons']} "
+        f"sweep ({report['fleet']}, {report['temporal_model']})",
+        ["run", "seconds", "searches", "fits", "forecast hits"],
+        [
+            [
+                name,
+                sweep[name]["seconds"],
+                sweep[name]["signature_searches"],
+                sweep[name]["fits"],
+                sweep[name]["forecast_hits"],
+            ]
+            for name in ("cold", "warm")
+        ],
+    )
+    parallel = report["parallel_signature_searches"]
+    print_table(
+        "Signature searches computed per parallel run",
+        ["run", "searches"],
+        [["first (jobs=%d)" % parallel["jobs"], parallel["first_run"]],
+         ["second (jobs=%d)" % parallel["jobs"], parallel["second_run"]]],
+    )
+    print(
+        f"warm speedup: {sweep['warm_speedup']:.2f}x, "
+        f"store: {report['store']['artifacts']} artifacts "
+        f"({report['store']['bytes']} bytes)"
+    )
+
+
+def test_artifact_store_speedup(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_bench(n_boxes=8, temporal_model="neural", enforce=True),
+        rounds=1,
+        iterations=1,
+    )
+    _print_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small-fleet smoke run with a cheap temporal model (seconds); "
+        "checks correctness, skips the speedup floor and the JSON artifact",
+    )
+    parser.add_argument("--boxes", type=int, default=None, help="fleet size")
+    parser.add_argument(
+        "--output", type=str, default=str(RESULTS_PATH),
+        help="result JSON path (full mode only)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        report = run_bench(
+            n_boxes=args.boxes or 4, temporal_model="seasonal_mean", enforce=False
+        )
+        _print_report(report)
+        print("quick mode: correctness checks passed (speedup floor not enforced)")
+        return 0
+    report = run_bench(
+        n_boxes=args.boxes or 12, temporal_model="neural", enforce=True
+    )
+    _print_report(report)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

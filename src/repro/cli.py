@@ -14,15 +14,18 @@ Each command prints the same fixed-width tables the benchmarks produce.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro import obs
 from repro.benchhelpers.tables import print_table
 from repro.core import AtmConfig, run_fleet_atm
+from repro.core import runtime
 from repro.prediction.registry import available_temporal_models
 from repro.prediction.spatial.signatures import ClusteringMethod
 from repro.resizing.evaluate import ResizingAlgorithm, evaluate_fleet_resizing
+from repro.store import STORE_ENV_VAR
 from repro.tickets import DEFAULT_THRESHOLDS, correlation_cdfs, fleet_ticket_summary
 from repro.tickets.policy import TicketPolicy
 from repro.trace import FleetConfig, generate_fleet, load_fleet_csv, save_fleet_csv
@@ -85,7 +88,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     config = AtmConfig.with_clustering(
         ClusteringMethod(args.method), temporal_model=args.temporal
     )
-    result = run_fleet_atm(fleet, config, jobs=args.jobs)
+    resume = _apply_store_args(args)
+    result = run_fleet_atm(fleet, config, jobs=args.jobs, resume=resume)
     print_table(
         f"ATM prediction — {args.method} clustering, {args.temporal} temporal model",
         ["metric", "value"],
@@ -117,9 +121,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_resize(args: argparse.Namespace) -> int:
     fleet = _fleet_from_args(args)
     policy = TicketPolicy(threshold_pct=args.threshold)
+    resume = _apply_store_args(args)
     reduction = evaluate_fleet_resizing(
         fleet, policy, tuple(ResizingAlgorithm), eval_windows=96,
-        epsilon_pct=args.epsilon, jobs=args.jobs,
+        epsilon_pct=args.epsilon, jobs=args.jobs, resume=resume,
     )
     rows = []
     for algorithm in ResizingAlgorithm:
@@ -203,6 +208,32 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="write the run's pipeline metrics (repro.metrics/v1 schema: "
         "counters + span timers) to PATH as JSON",
     )
+    parser.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="persistent artifact store directory (default: $REPRO_STORE; "
+        "unset = in-memory caching only)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve boxes whose result artifacts are already materialized "
+        "in the store instead of recomputing them (requires --store or "
+        "$REPRO_STORE; aggregates are bit-identical to a fresh run)",
+    )
+
+
+def _apply_store_args(args: argparse.Namespace) -> bool:
+    """Install ``--store`` into the environment; return the resume flag.
+
+    The store root travels via ``REPRO_STORE`` rather than a parameter so
+    forked pool workers inherit it with no extra plumbing.
+    """
+    store = getattr(args, "store", None)
+    if store:
+        os.environ[STORE_ENV_VAR] = store
+    resume = bool(getattr(args, "resume", False))
+    if resume and not runtime.store_dir():
+        raise SystemExit("--resume requires --store or $REPRO_STORE")
+    return resume
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -6,7 +6,9 @@ series one resizing window ahead (1 day = 96 ticketing windows), and sizes
 the co-located VMs with the greedy MCKP algorithm.
 
 * :mod:`repro.core.config` — configuration of the full system.
+* :mod:`repro.core.runtime` — consolidated environment-variable gates.
 * :mod:`repro.core.atm` — the per-box ATM controller.
+* :mod:`repro.core.stages` — the typed per-box stage graph + artifact keys.
 * :mod:`repro.core.executor` — parallel fleet execution engine.
 * :mod:`repro.core.pipeline` — fleet-scale evaluation runs (Figs. 9, 10).
 * :mod:`repro.core.results` — result containers and aggregation.
@@ -26,6 +28,10 @@ from repro.core.online import (
 )
 from repro.core.pipeline import FleetAtmResult, run_fleet_atm
 from repro.core.results import PredictionAccuracy
+
+# Imported for its side effect as well: registers the forecast/box-result/
+# resize-eval artifact codecs with repro.store.
+from repro.core import stages as stages  # noqa: F401  (re-exported module)
 
 __all__ = [
     "AtmConfig",

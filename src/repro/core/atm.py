@@ -24,14 +24,9 @@ from repro import obs
 from repro.core import faults
 from repro.core.config import AtmConfig
 from repro.core.degrade import RUNG_PRIMARY, RUNG_SEASONAL, sanitize_demands
-from repro.core.results import PredictionAccuracy, accuracy_for_box
+from repro.core.results import PredictionAccuracy
 from repro.prediction.combined import BoxPrediction, SpatialTemporalPredictor
-from repro.resizing.evaluate import (
-    BoxReduction,
-    ResizingAlgorithm,
-    evaluate_box_resizing,
-    resize_allocation,
-)
+from repro.resizing.evaluate import BoxReduction, ResizingAlgorithm, resize_allocation
 from repro.resizing.problem import ResizingProblem
 from repro.trace.model import BoxTrace, Resource
 
@@ -74,8 +69,14 @@ class AtmController:
         self._train_demands: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ train
-    def fit(self, train_windows: Optional[int] = None) -> "AtmController":
-        """Fit the spatial-temporal predictor on the first training windows."""
+    def _training_demands(self, train_windows: Optional[int] = None) -> np.ndarray:
+        """Materialize the training slice (fault hooks included).
+
+        This is the stage graph's input boundary: every fault that can
+        corrupt or abort training fires *here*, before any artifact-store
+        lookup, so poisoned slices change the artifact's data fingerprint
+        (and fit errors raise) rather than tainting stored results.
+        """
         windows = train_windows or self.config.training_windows
         windows = min(windows, self.box.n_windows)
         demands = self.box.demand_matrix()[:, :windows]  # stacked CPU+RAM
@@ -86,11 +87,16 @@ class AtmController:
         else:
             faults.inject_fault("fallback_error", self.box.box_id)
             demands = sanitize_demands(demands)
+        self._train_demands = demands
+        return demands
+
+    def fit(self, train_windows: Optional[int] = None) -> "AtmController":
+        """Fit the spatial-temporal predictor on the first training windows."""
+        demands = self._training_demands(train_windows)
         with obs.span("atm.fit"):
             self._predictor = SpatialTemporalPredictor(self.config.prediction).fit(
                 demands
             )
-        self._train_demands = demands
         return self
 
     @property
@@ -169,58 +175,19 @@ class AtmController:
         resizing window, evaluates prediction accuracy against the actual
         demands, and compares sizing policies with the predicted demands as
         sizing input (the Fig. 9/10 pipeline for a single box).
+
+        The body is the stage graph of :mod:`repro.core.stages` —
+        forecast → resize → evaluate — which consults the artifact store
+        before recomputing a stage (bit-identical to the legacy inline
+        pipeline when no persistent store is configured).
         """
         cfg = self.config
-        horizon = cfg.horizon_windows
-        if self.box.n_windows < cfg.training_windows + horizon:
+        if self.box.n_windows < cfg.training_windows + cfg.horizon_windows:
             raise ValueError(
                 f"box {self.box.box_id} has {self.box.n_windows} windows; "
-                f"need {cfg.training_windows + horizon} for train + horizon"
+                f"need {cfg.training_windows + cfg.horizon_windows} for "
+                f"train + horizon"
             )
-        if not self.is_fitted:
-            self.fit()
-        prediction = self.predict(horizon)
-        per_resource = self.split_prediction(prediction)
+        from repro.core import stages  # local: stages imports this module
 
-        lo = cfg.training_windows
-        actual = self.box.demand_matrix()[:, lo : lo + horizon]
-        # Peak windows: actual usage above the ticket threshold.
-        peak_thresholds = np.concatenate(
-            [
-                cfg.policy.alpha * self.box.allocations(Resource.CPU),
-                cfg.policy.alpha * self.box.allocations(Resource.RAM),
-            ]
-        )
-        accuracy = accuracy_for_box(
-            self.box.box_id,
-            actual,
-            prediction.predictions,
-            peak_thresholds,
-            self.signature_ratio,
-        )
-
-        reductions: Dict[Tuple[Resource, ResizingAlgorithm], BoxReduction] = {}
-        m = self.box.n_vms
-        for resource in (Resource.CPU, Resource.RAM):
-            rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
-            results = evaluate_box_resizing(
-                self.box,
-                resource,
-                cfg.policy,
-                cfg.algorithms,
-                eval_demands=actual[rows],
-                sizing_demands=per_resource[resource],
-                epsilon_pct=cfg.epsilon_pct,
-                lower_bounds=self._default_lower_bounds(resource),
-            )
-            for result in results:
-                reductions[(resource, result.algorithm)] = result
-
-        allocations = self.resize(per_resource)
-        return BoxAtmResult(
-            box_id=self.box.box_id,
-            accuracy=accuracy,
-            reductions=reductions,
-            predicted=per_resource,
-            allocations=allocations,
-        )
+        return stages.run_box_stages(self)

@@ -53,12 +53,13 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import obs
-from repro.core import faults
+from repro.core import faults, runtime
 
 __all__ = ["JOBS_ENV_VAR", "FleetExecutor", "resolve_jobs", "default_chunksize"]
 
-#: Environment variable consulted when no explicit ``jobs`` is given.
-JOBS_ENV_VAR = "REPRO_JOBS"
+#: Environment variable consulted when no explicit ``jobs`` is given
+#: (parsed by :mod:`repro.core.runtime`).
+JOBS_ENV_VAR = runtime.JOBS_ENV_VAR
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -70,16 +71,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     ``jobs <= 0`` (argument or environment) selects all available cores.
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
-                ) from None
-        else:
-            jobs = 1
+        env = runtime.env_jobs()
+        jobs = 1 if env is None else env
     jobs = int(jobs)
     if jobs <= 0:
         jobs = os.cpu_count() or 1

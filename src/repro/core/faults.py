@@ -44,13 +44,14 @@ attempt only, so the executor's bounded retry can be shown to recover.
 from __future__ import annotations
 
 import hashlib
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
+
+from repro.core import runtime
 
 __all__ = [
     "FAULTS_ENV_VAR",
@@ -70,8 +71,8 @@ __all__ = [
     "set_fault_plan",
 ]
 
-FAULTS_ENV_VAR = "REPRO_FAULTS"
-FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+FAULTS_ENV_VAR = runtime.FAULTS_ENV_VAR
+FAULTS_SEED_ENV_VAR = runtime.FAULTS_SEED_ENV_VAR
 
 FAULT_KINDS = ("fit_error", "fallback_error", "nan_train", "slow", "box_error")
 
@@ -193,20 +194,14 @@ def active_plan() -> Optional[FaultPlan]:
     """The plan in force: programmatic override, else the environment spec."""
     if _ACTIVE is not None:
         return _ACTIVE
-    spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    spec = runtime.faults_spec()
     if not spec:
         return None
-    seed_raw = os.environ.get(FAULTS_SEED_ENV_VAR, "0").strip() or "0"
+    seed = runtime.faults_seed()
     global _ENV_CACHE
-    cache_key = (spec, seed_raw)
+    cache_key = (spec, str(seed))
     if _ENV_CACHE[0] == cache_key:
         return _ENV_CACHE[1]
-    try:
-        seed = int(seed_raw)
-    except ValueError:
-        raise ValueError(
-            f"{FAULTS_SEED_ENV_VAR} must be an integer, got {seed_raw!r}"
-        ) from None
     plan = parse_fault_spec(spec, seed=seed)
     _ENV_CACHE = (cache_key, plan)
     return plan

@@ -25,6 +25,13 @@ even the fallback dies.  Each rung transition is recorded as a
 a degraded fleet is reported, never silently wrong.  The
 :mod:`repro.core.faults` harness injects fit errors, NaN-poisoned training
 slices and slow boxes to keep the ladder honest in CI.
+
+Warm starts come for free from the artifact store: the controller's
+step-0 training slice is exactly the offline pipeline's training matrix,
+and the signature search consults :mod:`repro.store` by content address —
+so with ``REPRO_STORE`` pointing at a store populated by an offline run
+(or a previous online run), the expensive spatial search of the first
+step is served from disk instead of recomputed.
 """
 
 from __future__ import annotations

@@ -82,7 +82,7 @@ def _seasonal_fallback_config(config: AtmConfig) -> AtmConfig:
 
 
 def _run_box_atm(
-    box, config: AtmConfig, degrade: bool
+    box, config: AtmConfig, degrade: bool, resume: bool = False
 ) -> Tuple[Optional[BoxAtmResult], List[DegradationEvent]]:
     """Per-box unit of work; module-level so pool workers can unpickle it.
 
@@ -90,7 +90,34 @@ def _run_box_atm(
     a seasonal-mean fallback run (with sanitized training data); on a
     second failure the box is reported as failed (``None`` result) rather
     than aborting the fleet.  ``degrade=False`` restores fail-fast.
+
+    With a persistent artifact store the completed ``(result, events)``
+    pair is materialized per box, so an interrupted fleet run leaves each
+    finished box's outcome on disk; ``resume=True`` serves those boxes
+    from the store (counted as ``pipeline.resume.hits``) and computes only
+    the rest — bit-identical to an uninterrupted run.
     """
+    from repro.core import stages
+    from repro.store import default_store
+
+    store = default_store()
+    key = stages.box_result_key(box, config, degrade) if store.persistent else None
+    if resume and key is not None:
+        cached = store.get(key, memory=False)
+        if cached is not None:
+            obs.inc("pipeline.resume.hits")
+            result, events = cached
+            return result, list(events)
+    result, events = _run_box_ladder(box, config, degrade)
+    if key is not None:
+        store.put(key, (result, events), memory=False)
+    return result, events
+
+
+def _run_box_ladder(
+    box, config: AtmConfig, degrade: bool
+) -> Tuple[Optional[BoxAtmResult], List[DegradationEvent]]:
+    """The degradation ladder itself (no store interaction)."""
     events: List[DegradationEvent] = []
     try:
         with obs.span("pipeline.box_run"):
@@ -133,6 +160,8 @@ def run_fleet_atm(
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
     degrade: bool = True,
+    resume: bool = False,
+    retries: int = 0,
 ) -> FleetAtmResult:
     """Run ATM end-to-end on every box of a fleet.
 
@@ -157,6 +186,14 @@ def run_fleet_atm(
         Climb the per-box policy ladder on failure (default), collecting
         partial results plus ``result.report``; ``False`` restores the
         fail-fast behaviour where the first box exception propagates.
+    resume:
+        Serve boxes whose result artifact is already materialized in the
+        persistent store (``REPRO_STORE`` / ``--store``) instead of
+        recomputing them; aggregates are bit-identical to a fresh run.
+        No-op without a persistent store.
+    retries:
+        Per-box retry budget forwarded to the executor (transient
+        ``once`` faults clear on the retry attempt).
     """
     cfg = config or AtmConfig()
     out = FleetAtmResult(config=cfg)
@@ -166,10 +203,10 @@ def run_fleet_atm(
         raise ValueError(
             f"no box in fleet {fleet.name!r} has the {needed} windows required"
         )
-    executor = FleetExecutor(jobs=jobs, chunksize=chunksize)
+    executor = FleetExecutor(jobs=jobs, chunksize=chunksize, retries=retries)
     obs.inc("pipeline.boxes", len(eligible))
     with obs.span("pipeline.fleet"):
-        results = executor.map(_run_box_atm, eligible, cfg, degrade)
+        results = executor.map(_run_box_atm, eligible, cfg, degrade, resume)
     for result, events in results:
         out.report.extend(events)
         if result is None:

@@ -1,0 +1,164 @@
+"""Consolidated runtime settings — the single home of every ``REPRO_*`` gate.
+
+Historically each subsystem read its own environment variable with its own
+parsing and its own notion of falsiness.  This module replaces those
+ad-hoc ``os.environ`` reads with one parse-and-validate path; the owning
+modules keep their public gate functions but delegate here.
+
+==========================  =========  =========================================
+Variable                    Default    Meaning
+==========================  =========  =========================================
+``REPRO_JOBS``              ``1``      Worker processes for fleet fan-out
+                                       (``<= 0`` = all cores).
+``REPRO_VECTOR_SPATIAL``    on         Vectorized spatial linear-algebra engine
+                                       (``0`` restores per-column reference).
+``REPRO_BATCHED_TEMPORAL``  on         Batched multi-series temporal training
+                                       (``0`` forces per-series fits).
+``REPRO_SIGNATURE_CACHE``   on         In-process memory tier of the signature
+                                       search (``0`` disables memoization).
+``REPRO_METRICS``           on         :mod:`repro.obs` counters/span timers
+                                       (``0`` turns recording into no-ops).
+``REPRO_FAULTS``            unset      Fault-injection spec
+                                       (see :mod:`repro.core.faults`).
+``REPRO_FAULTS_SEED``       ``0``      Seed of the fault plan's hash decisions.
+``REPRO_STORE``             unset      Directory of the persistent artifact
+                                       store's disk tier
+                                       (see :mod:`repro.store`).
+==========================  =========  =========================================
+
+Boolean gates share one falsy set: ``0``, ``false``, ``off``, ``no``
+(case-insensitive); anything else — including unset — means the default.
+Reads are live (no import-time snapshot), so tests can monkeypatch the
+environment per case.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "BATCHED_ENV_VAR",
+    "FAULTS_ENV_VAR",
+    "FAULTS_SEED_ENV_VAR",
+    "JOBS_ENV_VAR",
+    "METRICS_ENV_VAR",
+    "SIGNATURE_CACHE_ENV_VAR",
+    "STORE_ENV_VAR",
+    "VECTOR_ENV_VAR",
+    "RuntimeSettings",
+    "batched_temporal_enabled",
+    "env_jobs",
+    "faults_seed",
+    "faults_spec",
+    "metrics_enabled",
+    "settings",
+    "signature_cache_enabled",
+    "store_dir",
+    "vector_spatial_enabled",
+]
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+VECTOR_ENV_VAR = "REPRO_VECTOR_SPATIAL"
+BATCHED_ENV_VAR = "REPRO_BATCHED_TEMPORAL"
+SIGNATURE_CACHE_ENV_VAR = "REPRO_SIGNATURE_CACHE"
+METRICS_ENV_VAR = "REPRO_METRICS"
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: The one spelling of "disabled" every boolean gate accepts.
+_FALSY = frozenset({"0", "false", "off", "no"})
+
+
+def _flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in _FALSY
+
+
+def _int_or_error(name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def env_jobs() -> Optional[int]:
+    """``REPRO_JOBS`` as an int, ``None`` when unset; invalid values raise."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    return _int_or_error(JOBS_ENV_VAR, raw)
+
+
+def vector_spatial_enabled() -> bool:
+    """Whether the vectorized spatial engine is active (default on)."""
+    return _flag(VECTOR_ENV_VAR)
+
+
+def batched_temporal_enabled() -> bool:
+    """Whether batched multi-series temporal training is active (default on)."""
+    return _flag(BATCHED_ENV_VAR)
+
+
+def signature_cache_enabled() -> bool:
+    """Whether the signature search's memory tier is active (default on)."""
+    return _flag(SIGNATURE_CACHE_ENV_VAR)
+
+
+def metrics_enabled() -> bool:
+    """Whether :mod:`repro.obs` recording is active (default on)."""
+    return _flag(METRICS_ENV_VAR)
+
+
+def faults_spec() -> str:
+    """The raw ``REPRO_FAULTS`` spec string ("" when unset)."""
+    return os.environ.get(FAULTS_ENV_VAR, "").strip()
+
+
+def faults_seed() -> int:
+    """``REPRO_FAULTS_SEED`` as an int (default 0); invalid values raise."""
+    raw = os.environ.get(FAULTS_SEED_ENV_VAR, "0").strip() or "0"
+    return _int_or_error(FAULTS_SEED_ENV_VAR, raw)
+
+
+def store_dir() -> Optional[str]:
+    """Directory of the artifact store's disk tier; ``None`` when unset."""
+    raw = os.environ.get(STORE_ENV_VAR, "").strip()
+    return raw or None
+
+
+@dataclass(frozen=True)
+class RuntimeSettings:
+    """One validated snapshot of every runtime gate."""
+
+    jobs: Optional[int]
+    vector_spatial: bool
+    batched_temporal: bool
+    signature_cache: bool
+    metrics: bool
+    faults_spec: str
+    faults_seed: int
+    store_dir: Optional[str]
+
+
+def settings() -> RuntimeSettings:
+    """Parse and validate the full environment in one pass.
+
+    Raises the first parse error it meets (invalid ``REPRO_JOBS`` /
+    ``REPRO_FAULTS_SEED``); the per-gate accessors stay independent, so a
+    bad jobs value cannot break an unrelated subsystem's gate.
+    """
+    return RuntimeSettings(
+        jobs=env_jobs(),
+        vector_spatial=vector_spatial_enabled(),
+        batched_temporal=batched_temporal_enabled(),
+        signature_cache=signature_cache_enabled(),
+        metrics=metrics_enabled(),
+        faults_spec=faults_spec(),
+        faults_seed=faults_seed(),
+        store_dir=store_dir(),
+    )

@@ -1,0 +1,461 @@
+"""The typed stage graph of a per-box ATM run.
+
+The monolithic ``AtmController.run()`` decomposes into five stages, each
+consuming and producing serializable artifacts:
+
+    signature-search ──> temporal-fit ──> forecast ──> resize ──> evaluate
+
+Three of them materialize artifacts in :mod:`repro.store` (temporal fits
+are cheap relative to the search and travel inside the forecast artifact;
+the resize allocations travel inside the box result):
+
+``spatial``
+    The fitted :class:`~repro.prediction.spatial.signatures.SpatialModel`,
+    keyed by (training-matrix fingerprint, search-config fingerprint).
+    Written by ``search_signature_set`` itself, so *every* caller —
+    offline pipeline, online controller warm starts, ablation benches —
+    shares one artifact per distinct (data, config) pair.
+``forecast``
+    The :class:`~repro.prediction.combined.BoxPrediction` for one
+    (training matrix, prediction config, horizon) triple.  ε sweeps rerun
+    sizing on top of stored forecasts without refitting anything.
+``box_result``
+    The complete per-box outcome of the fleet pipeline — accuracy,
+    reductions, allocations, plus the degradation events that produced
+    them — keyed by (box fingerprint, ATM config + active fault plan).
+    ``--resume`` skips boxes whose result is already materialized.
+``resize_eval``
+    One box's :func:`~repro.resizing.evaluate.evaluate_box_resizing`
+    sweep for the standalone Fig. 8 study (``repro resize --resume``).
+
+Keys are content-addressed: the *data* fingerprint hashes the demand
+matrices the stage actually consumed (so fault-poisoned slices can never
+serve clean runs), the *config* fingerprint canonicalizes the governing
+dataclasses (stable across field order), and the schema version
+(``repro.store/v1``) rejects artifacts written by an incompatible layout.
+The active fault plan is folded into the run-level keys for the same
+reason as the data fingerprint: a degraded run's artifacts must not leak
+into a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core import faults
+from repro.core.config import AtmConfig
+from repro.core.degrade import DegradationEvent
+from repro.core.results import accuracy_for_box
+from repro.prediction.combined import BoxPrediction, SpatialTemporalPredictor
+from repro.prediction.registry import temporal_model_version
+from repro.prediction.spatial.signatures import SPATIAL_STAGE
+from repro.resizing.evaluate import (
+    BoxReduction,
+    ResizingAlgorithm,
+    evaluate_box_resizing,
+)
+from repro.store import (
+    ArtifactKey,
+    config_fingerprint,
+    data_fingerprint,
+    default_store,
+    get_codec,
+    register_codec,
+)
+from repro.tickets.policy import TicketPolicy
+from repro.trace.model import BoxTrace, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.atm import AtmController, BoxAtmResult
+
+__all__ = [
+    "BOX_RESULT_STAGE",
+    "FORECAST_STAGE",
+    "RESIZE_EVAL_STAGE",
+    "SPATIAL_STAGE",
+    "STAGES",
+    "Stage",
+    "box_fingerprint",
+    "box_result_key",
+    "forecast_key",
+    "resize_eval_key",
+    "run_box_stages",
+]
+
+#: Artifact-store stage names (``SPATIAL_STAGE`` re-exported for symmetry).
+FORECAST_STAGE = "forecast"
+BOX_RESULT_STAGE = "box_result"
+RESIZE_EVAL_STAGE = "resize_eval"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the per-box stage graph.
+
+    ``artifact`` names the store stage the node materializes (empty for
+    in-memory-only nodes); ``consumes`` lists upstream node names.
+    """
+
+    name: str
+    consumes: Tuple[str, ...]
+    artifact: str
+    description: str
+
+
+#: The per-box ATM stage graph, in topological order.
+STAGES: Tuple[Stage, ...] = (
+    Stage(
+        name="signature-search",
+        consumes=(),
+        artifact=SPATIAL_STAGE,
+        description="two-step signature search over the training matrix",
+    ),
+    Stage(
+        name="temporal-fit",
+        consumes=("signature-search",),
+        artifact="",
+        description="per-signature temporal models (travel inside the forecast)",
+    ),
+    Stage(
+        name="forecast",
+        consumes=("temporal-fit",),
+        artifact=FORECAST_STAGE,
+        description="full-box demand forecast for the resizing window",
+    ),
+    Stage(
+        name="resize",
+        consumes=("forecast",),
+        artifact=RESIZE_EVAL_STAGE,
+        description="MCKP sizing / policy comparison on the forecast",
+    ),
+    Stage(
+        name="evaluate",
+        consumes=("forecast", "resize"),
+        artifact=BOX_RESULT_STAGE,
+        description="accuracy + ticket-reduction evaluation of one box",
+    ),
+)
+
+
+# ------------------------------------------------------------------- keys
+def box_fingerprint(box: BoxTrace) -> str:
+    """Content fingerprint of everything a run reads from one box."""
+    return config_fingerprint(
+        {
+            "box_id": box.box_id,
+            "interval_minutes": box.interval_minutes,
+            "capacity": {r.value: box.capacity(r) for r in Resource},
+            "allocations": {r.value: box.allocations(r) for r in Resource},
+            "demands": box.demand_matrix(),
+        }
+    )
+
+
+def forecast_key(train_demands: np.ndarray, config: AtmConfig) -> ArtifactKey:
+    """Key of the forecast produced from ``train_demands`` under ``config``.
+
+    Depends only on the training matrix, the prediction config and the
+    horizon — *not* on ε or the sizing policies — so sizing-side sweeps
+    share one stored forecast per box.
+    """
+    return ArtifactKey(
+        stage=FORECAST_STAGE,
+        data_fp=data_fingerprint(train_demands),
+        config_fp=config_fingerprint(
+            {
+                "prediction": config.prediction,
+                "horizon": config.horizon_windows,
+                "temporal_model_version": temporal_model_version(
+                    config.prediction.temporal_model
+                ),
+            }
+        ),
+    )
+
+
+def box_result_key(box: BoxTrace, config: AtmConfig, degrade: bool = True) -> ArtifactKey:
+    """Key of one box's complete pipeline outcome.
+
+    Folds the active fault plan in so artifacts computed under injected
+    faults can never serve a clean run (and vice versa).
+    """
+    return ArtifactKey(
+        stage=BOX_RESULT_STAGE,
+        data_fp=box_fingerprint(box),
+        config_fp=config_fingerprint(
+            {
+                "config": config,
+                "degrade": degrade,
+                "faults": faults.active_plan(),
+            }
+        ),
+    )
+
+
+def resize_eval_key(
+    box: BoxTrace,
+    sizing_by_resource: Dict[Resource, Optional[np.ndarray]],
+    resources: Sequence[Resource],
+    policy: TicketPolicy,
+    algorithms: Sequence[ResizingAlgorithm],
+    eval_windows: Optional[int],
+    epsilon_pct: float,
+    degrade: bool = True,
+) -> ArtifactKey:
+    """Key of one box's standalone resizing sweep (the Fig. 8 study)."""
+    return ArtifactKey(
+        stage=RESIZE_EVAL_STAGE,
+        data_fp=config_fingerprint(
+            {
+                "box": box_fingerprint(box),
+                "sizing": {
+                    resource.value: sizing_by_resource.get(resource)
+                    for resource in resources
+                },
+            }
+        ),
+        config_fp=config_fingerprint(
+            {
+                "resources": [resource.value for resource in resources],
+                "policy": policy,
+                "algorithms": list(algorithms),
+                "eval_windows": eval_windows,
+                "epsilon_pct": epsilon_pct,
+                "degrade": degrade,
+                "faults": faults.active_plan(),
+            }
+        ),
+    )
+
+
+# ------------------------------------------------------------ orchestrator
+def run_box_stages(controller: "AtmController") -> "BoxAtmResult":
+    """Run the forecast → resize → evaluate stages for one controller.
+
+    This is the body of :meth:`AtmController.run`: identical arithmetic,
+    but the forecast consults the artifact store first — with a persistent
+    store a stored forecast short-circuits the signature search and every
+    temporal fit, and the run proceeds straight to sizing.  Without a
+    store the compute path below is the bit-identical legacy pipeline.
+    """
+    from repro.core.atm import BoxAtmResult
+
+    box = controller.box
+    cfg = controller.config
+    horizon = cfg.horizon_windows
+
+    if controller.is_fitted:
+        # Legacy pre-fitted path: honour whatever the caller fitted.
+        prediction = controller.predict(horizon)
+    else:
+        demands = controller._training_demands()
+        store = default_store()
+        key = forecast_key(demands, cfg) if store.persistent else None
+        # Disk-only: the in-memory tier already caches the expensive half
+        # (the spatial model) and forecasts are cheap to rebuild in-process.
+        prediction = store.get(key, memory=False) if key is not None else None
+        if prediction is None:
+            with obs.span("atm.fit"):
+                controller._predictor = SpatialTemporalPredictor(
+                    cfg.prediction
+                ).fit(demands)
+            prediction = controller.predict(horizon)
+            if key is not None:
+                store.put(key, prediction, memory=False)
+        else:
+            obs.inc("stages.forecast.hits")
+    per_resource = controller.split_prediction(prediction)
+
+    lo = cfg.training_windows
+    actual = box.demand_matrix()[:, lo : lo + horizon]
+    # Peak windows: actual usage above the ticket threshold.
+    peak_thresholds = np.concatenate(
+        [
+            cfg.policy.alpha * box.allocations(Resource.CPU),
+            cfg.policy.alpha * box.allocations(Resource.RAM),
+        ]
+    )
+    accuracy = accuracy_for_box(
+        box.box_id,
+        actual,
+        prediction.predictions,
+        peak_thresholds,
+        prediction.signature_ratio,
+    )
+
+    reductions: Dict[Tuple[Resource, ResizingAlgorithm], BoxReduction] = {}
+    m = box.n_vms
+    for resource in (Resource.CPU, Resource.RAM):
+        rows = slice(0, m) if resource is Resource.CPU else slice(m, 2 * m)
+        results = evaluate_box_resizing(
+            box,
+            resource,
+            cfg.policy,
+            cfg.algorithms,
+            eval_demands=actual[rows],
+            sizing_demands=per_resource[resource],
+            epsilon_pct=cfg.epsilon_pct,
+            lower_bounds=controller._default_lower_bounds(resource),
+        )
+        for result in results:
+            reductions[(resource, result.algorithm)] = result
+
+    allocations = controller.resize(per_resource)
+    return BoxAtmResult(
+        box_id=box.box_id,
+        accuracy=accuracy,
+        reductions=reductions,
+        predicted=per_resource,
+        allocations=allocations,
+    )
+
+
+# ----------------------------------------------------------------- codecs
+def _encode_forecast(prediction: BoxPrediction):
+    spatial_codec = get_codec(SPATIAL_STAGE)
+    assert spatial_codec is not None
+    sp_arrays, sp_meta = spatial_codec.encode(prediction.spatial)
+    arrays = {"predictions": np.asarray(prediction.predictions, dtype=float)}
+    for name, arr in sp_arrays.items():
+        arrays[f"spatial__{name}"] = arr
+    return arrays, {"temporal_model": prediction.temporal_model, "spatial": sp_meta}
+
+
+def _decode_forecast(arrays, meta) -> BoxPrediction:
+    spatial_codec = get_codec(SPATIAL_STAGE)
+    assert spatial_codec is not None
+    prefix = "spatial__"
+    sp_arrays = {
+        name[len(prefix) :]: arr
+        for name, arr in arrays.items()
+        if name.startswith(prefix)
+    }
+    return BoxPrediction(
+        predictions=np.array(arrays["predictions"], dtype=float),
+        spatial=spatial_codec.decode(sp_arrays, meta["spatial"]),
+        temporal_model=str(meta["temporal_model"]),
+    )
+
+
+def _encode_events(events: Sequence[DegradationEvent]) -> List[dict]:
+    return [event.to_dict() for event in events]
+
+
+def _decode_events(items: Sequence[dict]) -> List[DegradationEvent]:
+    return [
+        DegradationEvent(
+            box_id=str(item["box_id"]),
+            stage=str(item["stage"]),
+            rung=str(item["rung"]),
+            reason=str(item["reason"]),
+            step=None if item.get("step") is None else int(item["step"]),
+        )
+        for item in items
+    ]
+
+
+def _encode_reduction(reduction: BoxReduction) -> dict:
+    # int()/bool(): ticket counts and feasibility may arrive as numpy
+    # scalars, which the JSON header writer rejects.
+    return {
+        "box_id": reduction.box_id,
+        "resource": reduction.resource.value,
+        "algorithm": reduction.algorithm.value,
+        "tickets_before": int(reduction.tickets_before),
+        "tickets_after": int(reduction.tickets_after),
+        "feasible": bool(reduction.feasible),
+    }
+
+
+def _decode_reduction(item: dict) -> BoxReduction:
+    return BoxReduction(
+        box_id=str(item["box_id"]),
+        resource=Resource(item["resource"]),
+        algorithm=ResizingAlgorithm(item["algorithm"]),
+        tickets_before=int(item["tickets_before"]),
+        tickets_after=int(item["tickets_after"]),
+        feasible=bool(item["feasible"]),
+    )
+
+
+def _encode_box_result(value):
+    """Encode the pipeline's per-box ``(result | None, events)`` pair."""
+    result, events = value
+    arrays = {}
+    meta = {"events": _encode_events(events), "failed": result is None}
+    if result is not None:
+        meta["box_id"] = result.box_id
+        meta["accuracy"] = {
+            "ape": float(result.accuracy.ape),
+            "peak_ape": float(result.accuracy.peak_ape),
+            "signature_ratio": float(result.accuracy.signature_ratio),
+        }
+        meta["reductions"] = [
+            _encode_reduction(r) for r in result.reductions.values()
+        ]
+        for resource, arr in result.predicted.items():
+            arrays[f"predicted__{resource.value}"] = np.asarray(arr, dtype=float)
+        for resource, arr in result.allocations.items():
+            arrays[f"alloc__{resource.value}"] = np.asarray(arr, dtype=float)
+    return arrays, meta
+
+
+def _decode_box_result(arrays, meta):
+    from repro.core.atm import BoxAtmResult
+    from repro.core.results import PredictionAccuracy
+
+    events = _decode_events(meta["events"])
+    if meta["failed"]:
+        return None, events
+    box_id = str(meta["box_id"])
+    reductions = {}
+    for item in meta["reductions"]:
+        reduction = _decode_reduction(item)
+        reductions[(reduction.resource, reduction.algorithm)] = reduction
+    result = BoxAtmResult(
+        box_id=box_id,
+        accuracy=PredictionAccuracy(
+            box_id=box_id,
+            ape=float(meta["accuracy"]["ape"]),
+            peak_ape=float(meta["accuracy"]["peak_ape"]),
+            signature_ratio=float(meta["accuracy"]["signature_ratio"]),
+        ),
+        reductions=reductions,
+        predicted={
+            resource: np.array(arrays[f"predicted__{resource.value}"], dtype=float)
+            for resource in Resource
+            if f"predicted__{resource.value}" in arrays
+        },
+        allocations={
+            resource: np.array(arrays[f"alloc__{resource.value}"], dtype=float)
+            for resource in Resource
+            if f"alloc__{resource.value}" in arrays
+        },
+    )
+    return result, events
+
+
+def _encode_resize_eval(value):
+    """Encode a resize sweep's ``(reductions, events)`` pair."""
+    reductions, events = value
+    meta = {
+        "reductions": [_encode_reduction(r) for r in reductions],
+        "events": _encode_events(events),
+    }
+    return {}, meta
+
+
+def _decode_resize_eval(arrays, meta):
+    return (
+        [_decode_reduction(item) for item in meta["reductions"]],
+        _decode_events(meta["events"]),
+    )
+
+
+register_codec(FORECAST_STAGE, _encode_forecast, _decode_forecast)
+register_codec(BOX_RESULT_STAGE, _encode_box_result, _decode_box_result)
+register_codec(RESIZE_EVAL_STAGE, _encode_resize_eval, _decode_resize_eval)

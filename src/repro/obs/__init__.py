@@ -34,7 +34,6 @@ Metric names are dotted ``<subsystem>.<event>`` strings, e.g.
 from __future__ import annotations
 
 import json
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -55,7 +54,8 @@ __all__ = [
     "write_metrics_json",
 ]
 
-#: Set to ``0`` / ``false`` / ``off`` to disable all metric recording.
+#: Set to ``0`` / ``false`` / ``off`` / ``no`` to disable all metric
+#: recording (parsed by :mod:`repro.core.runtime`).
 METRICS_ENV_VAR = "REPRO_METRICS"
 
 #: Schema identifier stamped into every snapshot.
@@ -64,11 +64,10 @@ METRICS_SCHEMA = "repro.metrics/v1"
 
 def metrics_enabled() -> bool:
     """Whether recording is on (default) — ``REPRO_METRICS=0`` disables."""
-    return os.environ.get(METRICS_ENV_VAR, "1").strip().lower() not in (
-        "0",
-        "false",
-        "off",
-    )
+    # Lazy import: obs must stay importable without dragging in repro.core.
+    from repro.core.runtime import metrics_enabled as _enabled
+
+    return _enabled()
 
 
 @dataclass

@@ -104,12 +104,41 @@ class SpatialTemporalPredictor:
 
     def fit(self, train_matrix: Sequence[Sequence[float]]) -> "SpatialTemporalPredictor":
         """Fit signature search, spatial models and per-signature temporal models."""
-        arr = np.asarray(train_matrix, dtype=float)
-        if arr.ndim != 2:
-            raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
+        arr = self._validate_train(train_matrix)
         obs.inc("predict.fits")
         with obs.span("predict.signature_search"):
             spatial = search_signature_set(arr, self.config.search)
+        return self._adopt(spatial, arr)
+
+    def fit_from_spatial(
+        self, spatial: SpatialModel, train_matrix: Sequence[Sequence[float]]
+    ) -> "SpatialTemporalPredictor":
+        """Fit around an existing spatial model (warm start).
+
+        Skips the signature search entirely: ``spatial`` is typically a
+        stored artifact of the exact same training matrix (see
+        :mod:`repro.store`), in which case the fitted predictor is
+        bit-identical to a full :meth:`fit`.
+        """
+        arr = self._validate_train(train_matrix)
+        if spatial.n_series != arr.shape[0]:
+            raise ValueError(
+                f"spatial model covers {spatial.n_series} series; "
+                f"train matrix has {arr.shape[0]}"
+            )
+        obs.inc("predict.fits")
+        return self._adopt(spatial, arr)
+
+    @staticmethod
+    def _validate_train(train_matrix: Sequence[Sequence[float]]) -> np.ndarray:
+        arr = np.asarray(train_matrix, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"train matrix must be 2-D (n_series, T), got {arr.shape}")
+        return arr
+
+    def _adopt(
+        self, spatial: SpatialModel, arr: np.ndarray
+    ) -> "SpatialTemporalPredictor":
         self._spatial = spatial
         self._temporal = self._fit_temporal(arr)
         self._train = arr

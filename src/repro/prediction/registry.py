@@ -35,6 +35,7 @@ __all__ = [
     "fit_temporal_batch",
     "has_batch_fitter",
     "make_temporal_model",
+    "temporal_model_version",
 ]
 
 _FACTORIES: Dict[str, Callable[[int], TemporalPredictor]] = {
@@ -71,6 +72,22 @@ def make_temporal_model(name: str, period: int = 96) -> TemporalPredictor:
             f"unknown temporal model {name!r}; available: {available_temporal_models()}"
         ) from None
     return factory(period)
+
+
+# Implementation version per temporal model, folded into forecast artifact
+# keys by the staged pipeline (repro.core.stages).  Bump a model's entry
+# whenever its numerics change: stored forecasts computed with the old
+# implementation then stop matching and are recomputed instead of served.
+_VERSIONS: Dict[str, int] = {}
+
+
+def temporal_model_version(name: str) -> int:
+    """Artifact-key version of a temporal model's implementation (default 1)."""
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown temporal model {name!r}; available: {available_temporal_models()}"
+        )
+    return _VERSIONS.get(name, 1)
 
 
 _BATCH_FITTERS: Dict[

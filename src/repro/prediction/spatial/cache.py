@@ -7,121 +7,62 @@ matrix and the (frozen, hashable) :class:`SignatureSearchConfig` — the
 ablation benches that re-run the same fleet under varying ε, horizon or
 temporal models therefore recompute identical clusterings over and over.
 
-This module caches :class:`SpatialModel` results in a bounded LRU keyed
-on ``(content fingerprint of the training matrix, config)``.  A content
-fingerprint subsumes the obvious ``(fleet seed, box id)`` key: it is
-stable across fleets reloaded from CSV, and it can never alias two boxes
+Since the artifact store landed this module is a thin façade: the cache
+*is* the store's ``"spatial"`` stage memory tier (tier 1 of
+:mod:`repro.store`), shared with every :class:`~repro.store.ArtifactStore`
+in the process.  ``search_signature_set`` keys it on ``(content
+fingerprint of the training matrix, config fingerprint)``; a content
+fingerprint subsumes the obvious ``(fleet seed, box id)`` key — it is
+stable across fleets reloaded from CSV and can never alias two boxes
 whose data actually differ.
+
+Entries added by forked pool workers used to be worker-local and were
+discarded with the pool; with ``REPRO_STORE`` set, workers now persist
+their search results through the store's disk tier, where sibling
+workers and later runs hit them.
 
 Cached models are shared between callers and must be treated as
 read-only (every caller in this codebase already does).
 
-Set ``REPRO_SIGNATURE_CACHE=0`` to disable caching entirely.
+Set ``REPRO_SIGNATURE_CACHE=0`` to disable the memory tier entirely.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Hashable, Optional
-
-import numpy as np
+from repro.store import (
+    DEFAULT_MAXSIZE,
+    CacheStats,
+    LruCache,
+    data_fingerprint,
+    memory_tier,
+)
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "DEFAULT_MAXSIZE",
+    "CacheStats",
     "SIGNATURE_CACHE",
     "SignatureSearchCache",
     "cache_enabled",
     "data_fingerprint",
 ]
 
-#: Set to ``0``/``false``/``off`` to bypass the cache.
+#: Set to ``0``/``false``/``off``/``no`` to bypass the memory tier
+#: (parsed by :mod:`repro.core.runtime`).
 CACHE_ENV_VAR = "REPRO_SIGNATURE_CACHE"
 
-#: Default number of cached per-box models.  A model stores only OLS
-#: coefficients and index tuples (a few KB per box), so this comfortably
-#: covers a large fleet sweep.
-DEFAULT_MAXSIZE = 512
+#: The LRU class, kept under its historical name.
+SignatureSearchCache = LruCache
 
 
 def cache_enabled() -> bool:
-    """Whether the process-wide signature cache is active."""
-    return os.environ.get(CACHE_ENV_VAR, "").strip().lower() not in (
-        "0",
-        "false",
-        "off",
-        "no",
-    )
+    """Whether the process-wide signature memory tier is active."""
+    # Lazy import: prediction must stay importable without repro.core.
+    from repro.core.runtime import signature_cache_enabled as _enabled
+
+    return _enabled()
 
 
-def data_fingerprint(data: np.ndarray) -> str:
-    """Content hash of a training matrix (shape + raw float bytes)."""
-    arr = np.ascontiguousarray(np.asarray(data, dtype=float))
-    digest = hashlib.sha1()
-    digest.update(repr(arr.shape).encode())
-    digest.update(arr.tobytes())
-    return digest.hexdigest()
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters, readable by benches and tests."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-
-class SignatureSearchCache:
-    """Thread-safe bounded LRU mapping search keys to fitted models."""
-
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.stats = CacheStats()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: Hashable) -> Optional[Any]:
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return self._entries[key]
-            self.stats.misses += 1
-            return None
-
-    def put(self, key: Hashable, value: Any) -> None:
-        with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-
-    def clear(self) -> None:
-        """Drop all entries and reset counters (used between timed runs)."""
-        with self._lock:
-            self._entries.clear()
-            self.stats = CacheStats()
-
-
-#: Process-wide cache consulted by ``search_signature_set``.  Forked pool
-#: workers inherit a snapshot; entries they add stay worker-local, so the
-#: cache never needs cross-process synchronization.
-SIGNATURE_CACHE = SignatureSearchCache()
+#: Process-wide cache consulted by ``search_signature_set`` — the store's
+#: shared memory tier for the ``"spatial"`` stage.
+SIGNATURE_CACHE: LruCache = memory_tier("spatial", maxsize=DEFAULT_MAXSIZE)

@@ -23,23 +23,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.prediction.spatial.cache import (
-    SIGNATURE_CACHE,
-    cache_enabled,
-    data_fingerprint,
-)
+from repro import obs
+from repro.prediction.spatial.cache import cache_enabled, data_fingerprint
 from repro.prediction.spatial.cbc import DEFAULT_RHO_THRESHOLD, correlation_based_clusters
 from repro.prediction.spatial.dtw_cluster import dtw_clusters
+from repro.store import (
+    ArtifactKey,
+    config_fingerprint,
+    default_store,
+    register_codec,
+)
 from repro.timeseries.correlation import pairwise_correlation_matrix
 from repro.timeseries.regression import OlsFit, fit_dependent_models, stepwise_eliminate
 from repro.timeseries.vector import vector_spatial_enabled
 
 __all__ = [
+    "SPATIAL_STAGE",
     "ClusteringMethod",
     "SignatureSearchConfig",
     "SpatialModel",
     "search_signature_set",
 ]
+
+#: Artifact-store stage name of signature-search results.
+SPATIAL_STAGE = "spatial"
 
 
 class ClusteringMethod(enum.Enum):
@@ -215,13 +222,19 @@ def search_signature_set(
         raise ValueError("need at least one series")
 
     # The search depends only on (training matrix, config); re-runs of the
-    # same box under varying ε/horizon reuse the memoized model.  Cached
-    # models are shared — treat them as read-only.
-    use_cache = cache_enabled()
+    # same box under varying ε/horizon reuse the memoized model, and with
+    # a persistent store (REPRO_STORE) so do sibling pool workers and
+    # later runs.  Cached models are shared — treat them as read-only.
+    use_memory = cache_enabled()
+    store = default_store()
     cache_key = None
-    if use_cache:
-        cache_key = (data_fingerprint(arr), cfg)
-        cached = SIGNATURE_CACHE.get(cache_key)
+    if use_memory or store.persistent:
+        cache_key = ArtifactKey(
+            stage=SPATIAL_STAGE,
+            data_fp=data_fingerprint(arr),
+            config_fp=config_fingerprint(cfg),
+        )
+        cached = store.get(cache_key, memory=use_memory)
         if cached is not None:
             return cached
 
@@ -249,6 +262,59 @@ def search_signature_set(
         initial_signature_indices=tuple(initial_sorted),
         cluster_labels=tuple(labels),
     )
-    if use_cache and cache_key is not None:
-        SIGNATURE_CACHE.put(cache_key, model)
+    obs.inc("spatial.search.computed")
+    if cache_key is not None:
+        store.put(cache_key, model, memory=use_memory)
     return model
+
+
+# ------------------------------------------------------------ store codec
+def _encode_spatial(model: SpatialModel):
+    """Serialize a :class:`SpatialModel` as index/coefficient arrays."""
+    dep = list(model.dependent_indices)
+    n_sig = len(model.signature_indices)
+    arrays = {
+        "signature_indices": np.asarray(model.signature_indices, dtype=np.int64),
+        "dependent_indices": np.asarray(dep, dtype=np.int64),
+        "initial_signature_indices": np.asarray(
+            model.initial_signature_indices, dtype=np.int64
+        ),
+        "cluster_labels": np.asarray(model.cluster_labels, dtype=np.int64),
+        "coefficients": (
+            np.stack([model.models[idx].coefficients for idx in dep])
+            if dep
+            else np.zeros((0, n_sig))
+        ),
+        "intercepts": np.asarray([model.models[idx].intercept for idx in dep]),
+        "r2": np.asarray([model.models[idx].r2 for idx in dep]),
+        "residual_std": np.asarray(
+            [model.models[idx].residual_std for idx in dep]
+        ),
+    }
+    return arrays, {"n_series": model.n_series}
+
+
+def _decode_spatial(arrays, meta) -> SpatialModel:
+    dep = [int(i) for i in arrays["dependent_indices"]]
+    models = {
+        idx: OlsFit(
+            intercept=float(arrays["intercepts"][row]),
+            coefficients=np.array(arrays["coefficients"][row], dtype=float),
+            r2=float(arrays["r2"][row]),
+            residual_std=float(arrays["residual_std"][row]),
+        )
+        for row, idx in enumerate(dep)
+    }
+    return SpatialModel(
+        n_series=int(meta["n_series"]),
+        signature_indices=tuple(int(i) for i in arrays["signature_indices"]),
+        dependent_indices=tuple(dep),
+        models=models,
+        initial_signature_indices=tuple(
+            int(i) for i in arrays["initial_signature_indices"]
+        ),
+        cluster_labels=tuple(int(i) for i in arrays["cluster_labels"]),
+    )
+
+
+register_codec(SPATIAL_STAGE, _encode_spatial, _decode_spatial)

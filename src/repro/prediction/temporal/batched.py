@@ -40,7 +40,6 @@ the batch axis vectorizes within a box.
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,7 +53,8 @@ from repro.prediction.temporal.seasonal import (
 
 __all__ = ["BATCHED_ENV_VAR", "batched_temporal_enabled", "fit_neural_batch"]
 
-#: Environment variable gating the batched kernel (default: enabled).
+#: Environment variable gating the batched kernel (default: enabled;
+#: parsed by :mod:`repro.core.runtime`).
 BATCHED_ENV_VAR = "REPRO_BATCHED_TEMPORAL"
 
 _ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS = 0.9, 0.999, 1e-8
@@ -62,8 +62,10 @@ _ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS = 0.9, 0.999, 1e-8
 
 def batched_temporal_enabled() -> bool:
     """Whether the batched kernel is enabled (``REPRO_BATCHED_TEMPORAL``)."""
-    raw = os.environ.get(BATCHED_ENV_VAR, "1").strip().lower() or "1"
-    return raw not in {"0", "false", "off", "no"}
+    # Lazy import: prediction must stay importable without repro.core.
+    from repro.core.runtime import batched_temporal_enabled as _enabled
+
+    return _enabled()
 
 
 def fit_neural_batch(

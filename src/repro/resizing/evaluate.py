@@ -303,14 +303,42 @@ def _evaluate_box_worker(
     eval_windows: Optional[int],
     epsilon_pct: float,
     degrade: bool,
+    resume: bool = False,
 ) -> Tuple[List[BoxReduction], List[DegradationEvent]]:
     """Per-box unit of work for the fleet sweep (module-level: picklable).
 
     A failing box yields an empty result plus a ``failed`` degradation
     event instead of aborting the sweep (``degrade=False`` restores the
     fail-fast propagation).
+
+    With a persistent artifact store each completed box's sweep is
+    materialized; ``resume=True`` serves stored boxes (counted as
+    ``resize.resume.hits``) and computes only the rest.
     """
+    # Local imports: repro.core.stages itself imports this module.
+    from repro.core import stages
+    from repro.store import default_store
+
     box, sizing_by_resource = item
+    store = default_store()
+    key = None
+    if store.persistent:
+        key = stages.resize_eval_key(
+            box,
+            sizing_by_resource,
+            resources,
+            policy,
+            algorithms,
+            eval_windows,
+            epsilon_pct,
+            degrade,
+        )
+    if resume and key is not None:
+        cached = store.get(key, memory=False)
+        if cached is not None:
+            obs.inc("resize.resume.hits")
+            results, events = cached
+            return list(results), list(events)
     out: List[BoxReduction] = []
     try:
         faults.inject_slow(box.box_id)
@@ -335,7 +363,7 @@ def _evaluate_box_worker(
         if not degrade:
             raise
         obs.inc("resize.boxes_failed")
-        return [], [
+        events = [
             DegradationEvent(
                 box_id=box.box_id,
                 stage="run",
@@ -343,6 +371,11 @@ def _evaluate_box_worker(
                 reason=repr(exc),
             )
         ]
+        if key is not None:
+            store.put(key, ([], events), memory=False)
+        return [], events
+    if key is not None:
+        store.put(key, (out, []), memory=False)
     return out, []
 
 
@@ -356,6 +389,7 @@ def evaluate_fleet_resizing(
     resources: Sequence[Resource] = (Resource.CPU, Resource.RAM),
     jobs: Optional[int] = None,
     degrade: bool = True,
+    resume: bool = False,
 ) -> FleetReduction:
     """Run the resizing comparison across a fleet (the Fig. 8 study).
 
@@ -376,6 +410,10 @@ def evaluate_fleet_resizing(
     degrade:
         Collect partial results on per-box failures (default), reporting
         them in ``result.report``; ``False`` restores fail-fast.
+    resume:
+        Serve boxes whose sweep artifact is already materialized in the
+        persistent store (``REPRO_STORE`` / ``--store``); no-op without
+        one.
     """
     from repro.core.executor import FleetExecutor
 
@@ -401,6 +439,7 @@ def evaluate_fleet_resizing(
             eval_windows,
             epsilon_pct,
             degrade,
+            resume,
         )
     summary = FleetReduction()
     for results, events in per_box:

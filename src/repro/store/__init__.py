@@ -1,0 +1,51 @@
+"""repro.store — a two-tier content-addressed artifact store.
+
+The staged ATM pipeline (see :mod:`repro.core.stages`) materializes each
+stage's output as an *artifact* addressed by ``(stage, data fingerprint,
+config fingerprint, schema version)``.  This package provides:
+
+* :mod:`repro.store.fingerprint` — BLAKE2b content/config fingerprints and
+  the ``repro.store/v1`` schema tag.
+* :mod:`repro.store.lru` — the in-process memory tier (tier 1), the
+  thread-safe bounded LRU the signature cache has always used.
+* :mod:`repro.store.codecs` — per-stage ``npz + JSON`` serializers.
+* :mod:`repro.store.artifacts` — :class:`ArtifactStore`, the two-tier
+  get/put with an optional persistent disk tier (``REPRO_STORE`` /
+  ``--store``), atomic writes, and stale/corrupt rejection.
+
+The disk tier is what survives process boundaries: pool workers write
+artifacts their siblings and *later runs* can hit (fixing the historical
+worker-local cache-entry loss), interrupted fleet runs resume from the
+boxes already materialized, and ablation sweeps re-fit nothing spatial.
+"""
+
+from repro.store.artifacts import (
+    STORE_ENV_VAR,
+    ArtifactKey,
+    ArtifactStore,
+    clear_memory_tiers,
+    default_store,
+    memory_tier,
+)
+from repro.store.codecs import Codec, get_codec, register_codec, registered_stages
+from repro.store.fingerprint import STORE_SCHEMA, config_fingerprint, data_fingerprint
+from repro.store.lru import DEFAULT_MAXSIZE, CacheStats, LruCache
+
+__all__ = [
+    "DEFAULT_MAXSIZE",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
+    "ArtifactKey",
+    "ArtifactStore",
+    "CacheStats",
+    "Codec",
+    "LruCache",
+    "clear_memory_tiers",
+    "config_fingerprint",
+    "data_fingerprint",
+    "default_store",
+    "get_codec",
+    "memory_tier",
+    "register_codec",
+    "registered_stages",
+]

@@ -1,0 +1,225 @@
+"""The two-tier content-addressed artifact store.
+
+Tier 1 is an in-process LRU per stage (:class:`repro.store.lru.LruCache`
+instances shared process-wide, so the signature cache keeps its historical
+identity semantics).  Tier 2 is an optional on-disk tier: one ``.npz``
+file per artifact under a root directory selected by ``REPRO_STORE`` (or
+the CLI's ``--store``).  Without a root the store degrades to the memory
+tier alone — the pre-store behaviour, bit for bit.
+
+Keys are :class:`ArtifactKey` values — ``(stage, data fingerprint, config
+fingerprint, schema version)``.  The disk layout shards by digest::
+
+    <root>/<stage>/<digest[:2]>/<digest>.npz
+
+Each file holds the codec's payload arrays plus a ``__meta__`` JSON header
+recording the full key; a header that does not match the requesting key
+(schema bump, hash collision across layouts) is rejected as *stale* and
+the value recomputed.  Disk writes are atomic (temp file + ``os.replace``)
+so parallel pool workers can write the same artifact concurrently; reads
+never see a torn file, and any unreadable/corrupt file is treated as a
+miss, counted under ``store.<stage>.corrupt``.
+
+Store failures never fail a run: the disk tier is an accelerator, and
+every exception on its path degrades to "compute it again".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.store.codecs import get_codec
+from repro.store.fingerprint import STORE_SCHEMA
+from repro.store.lru import DEFAULT_MAXSIZE, LruCache
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "ArtifactKey",
+    "ArtifactStore",
+    "clear_memory_tiers",
+    "default_store",
+    "memory_tier",
+]
+
+#: Directory of the persistent disk tier; unset/empty = memory tier only.
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content address of one stage artifact."""
+
+    stage: str
+    data_fp: str
+    config_fp: str
+    schema: str = STORE_SCHEMA
+
+    def digest(self) -> str:
+        """Filename-safe digest of the full key."""
+        payload = f"{self.schema}|{self.stage}|{self.data_fp}|{self.config_fp}"
+        return hashlib.blake2b(payload.encode(), digest_size=20).hexdigest()
+
+
+# Shared per-stage memory tiers.  Module-level so every ArtifactStore built
+# for the same process (the default store is rebuilt when REPRO_STORE
+# changes) keeps hitting the same LRUs, and so the signature cache module
+# can expose its stage's tier as the historical SIGNATURE_CACHE singleton.
+_MEMORY_TIERS: Dict[str, LruCache] = {}
+
+
+def memory_tier(stage: str, maxsize: int = DEFAULT_MAXSIZE) -> LruCache:
+    """The process-wide memory tier for ``stage`` (created on first use)."""
+    tier = _MEMORY_TIERS.get(stage)
+    if tier is None:
+        tier = _MEMORY_TIERS.setdefault(stage, LruCache(maxsize=maxsize))
+    return tier
+
+
+def clear_memory_tiers() -> None:
+    """Empty every stage's memory tier (benches/tests isolating the disk tier)."""
+    for tier in _MEMORY_TIERS.values():
+        tier.clear()
+
+
+class ArtifactStore:
+    """Two-tier get/put keyed by :class:`ArtifactKey`.
+
+    Parameters
+    ----------
+    root:
+        Disk-tier directory; ``None`` disables persistence (memory only).
+    """
+
+    def __init__(self, root: "Optional[str | os.PathLike]" = None) -> None:
+        self.root = Path(root) if root else None
+
+    @property
+    def persistent(self) -> bool:
+        """Whether a disk tier is configured."""
+        return self.root is not None
+
+    def memory_tier(self, stage: str) -> LruCache:
+        return memory_tier(stage)
+
+    # ----------------------------------------------------------------- paths
+    def path_for(self, key: ArtifactKey) -> Optional[Path]:
+        """Disk location of ``key``'s artifact (``None`` without a root)."""
+        if self.root is None:
+            return None
+        digest = key.digest()
+        return self.root / key.stage / digest[:2] / f"{digest}.npz"
+
+    # ------------------------------------------------------------------- get
+    def get(self, key: ArtifactKey, memory: bool = True) -> Optional[Any]:
+        """Look ``key`` up: memory tier first (unless disabled), then disk.
+
+        A disk hit is promoted into the memory tier when ``memory`` is on.
+        Returns ``None`` on a miss — including stale-schema and corrupt
+        files, which are counted but never raised.
+        """
+        if memory:
+            hit = self.memory_tier(key.stage).get(key)
+            if hit is not None:
+                return hit
+        value = self._read_disk(key)
+        if value is not None and memory:
+            self.memory_tier(key.stage).put(key, value)
+        return value
+
+    # ------------------------------------------------------------------- put
+    def put(self, key: ArtifactKey, value: Any, memory: bool = True) -> None:
+        """Install ``value`` under ``key`` in the enabled tiers."""
+        if memory:
+            self.memory_tier(key.stage).put(key, value)
+        self._write_disk(key, value)
+
+    # ------------------------------------------------------------------ disk
+    def _read_disk(self, key: ArtifactKey) -> Optional[Any]:
+        path = self.path_for(key)
+        codec = get_codec(key.stage)
+        if path is None or codec is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                header = json.loads(bytes(npz["__meta__"].tobytes()).decode())
+                if (
+                    header.get("schema") != key.schema
+                    or header.get("stage") != key.stage
+                    or header.get("data_fp") != key.data_fp
+                    or header.get("config_fp") != key.config_fp
+                ):
+                    obs.inc(f"store.{key.stage}.stale")
+                    return None
+                arrays = {
+                    name: npz[name] for name in npz.files if name != "__meta__"
+                }
+            value = codec.decode(arrays, header.get("meta"))
+        except Exception:
+            # Torn/truncated/foreign file: recompute rather than fail.
+            obs.inc(f"store.{key.stage}.corrupt")
+            return None
+        obs.inc(f"store.{key.stage}.hit_disk")
+        return value
+
+    def _write_disk(self, key: ArtifactKey, value: Any) -> None:
+        path = self.path_for(key)
+        codec = get_codec(key.stage)
+        if path is None or codec is None:
+            return
+        try:
+            arrays, meta = codec.encode(value)
+            header = {
+                "schema": key.schema,
+                "stage": key.stage,
+                "data_fp": key.data_fp,
+                "config_fp": key.config_fp,
+                "meta": meta,
+            }
+            meta_array = np.frombuffer(
+                json.dumps(header, allow_nan=True).encode(), dtype=np.uint8
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, __meta__=meta_array, **arrays)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            obs.inc(f"store.{key.stage}.write_errors")
+            return
+        obs.inc(f"store.{key.stage}.writes")
+
+
+# The process default, rebuilt whenever the configured root changes (tests
+# monkeypatch REPRO_STORE).  Memory tiers are module-global, so a rebuild
+# never drops tier-1 entries.
+_DEFAULT: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    """The store configured by ``REPRO_STORE`` (memory-only when unset)."""
+    from repro.core.runtime import store_dir  # lazy: avoids a core import cycle
+
+    root = store_dir()
+    global _DEFAULT
+    current = str(_DEFAULT.root) if _DEFAULT is not None and _DEFAULT.root else None
+    if _DEFAULT is None or current != root:
+        _DEFAULT = ArtifactStore(root)
+    return _DEFAULT

@@ -23,15 +23,16 @@ its own — the gate selects the fast path, never different answers.
 
 from __future__ import annotations
 
-import os
-
 __all__ = ["VECTOR_ENV_VAR", "vector_spatial_enabled"]
 
-#: Environment variable gating the vectorized spatial kernels (default: on).
+#: Environment variable gating the vectorized spatial kernels (default: on;
+#: parsed by :mod:`repro.core.runtime`).
 VECTOR_ENV_VAR = "REPRO_VECTOR_SPATIAL"
 
 
 def vector_spatial_enabled() -> bool:
     """Whether the vectorized spatial kernels are enabled (``REPRO_VECTOR_SPATIAL``)."""
-    raw = os.environ.get(VECTOR_ENV_VAR, "1").strip().lower() or "1"
-    return raw not in {"0", "false", "off", "no"}
+    # Lazy import: timeseries must stay importable without repro.core.
+    from repro.core.runtime import vector_spatial_enabled as _enabled
+
+    return _enabled()

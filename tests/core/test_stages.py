@@ -1,0 +1,162 @@
+"""Tests of the typed stage graph, its artifact keys, and warm-run reuse."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import faults, stages
+from repro.core.config import AtmConfig
+from repro.core.pipeline import run_fleet_atm
+from repro.prediction.combined import SpatialTemporalConfig, SpatialTemporalPredictor
+from repro.store import clear_memory_tiers, get_codec
+from repro.trace.generator import FleetConfig, generate_box
+
+
+def _config(**overrides):
+    base = AtmConfig(prediction=SpatialTemporalConfig(temporal_model="seasonal_mean"))
+    return replace(base, **overrides) if overrides else base
+
+
+@pytest.fixture
+def store_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+    clear_memory_tiers()
+    yield tmp_path
+    clear_memory_tiers()
+
+
+def _aggregates(result):
+    """A bit-faithful digest of a fleet run (repr preserves float bits)."""
+    return (
+        repr(result.accuracies),
+        repr(
+            [
+                (r.box_id, r.resource, r.algorithm, r.tickets_before, r.tickets_after)
+                for r in result.reduction.results
+            ]
+        ),
+        repr([e.to_dict() for e in result.report.events]),
+    )
+
+
+def _counters():
+    return obs.metrics_snapshot()["counters"]
+
+
+class TestGraph:
+    def test_topological_order(self):
+        seen = set()
+        for stage in stages.STAGES:
+            assert all(dep in seen for dep in stage.consumes), stage.name
+            seen.add(stage.name)
+        assert len(seen) == len(stages.STAGES) == 5
+
+    def test_artifact_stages_have_codecs(self):
+        for stage in stages.STAGES:
+            if stage.artifact:
+                assert get_codec(stage.artifact) is not None, stage.artifact
+
+
+class TestKeys:
+    def test_box_fingerprint_deterministic_and_content_addressed(self):
+        box_a = generate_box(0, FleetConfig(days=6, seed=5))
+        box_a2 = generate_box(0, FleetConfig(days=6, seed=5))
+        box_b = generate_box(1, FleetConfig(days=6, seed=5))
+        assert stages.box_fingerprint(box_a) == stages.box_fingerprint(box_a2)
+        assert stages.box_fingerprint(box_a) != stages.box_fingerprint(box_b)
+
+    def test_forecast_key_ignores_sizing_side_config(self):
+        demands = np.random.default_rng(0).random((6, 480))
+        base = stages.forecast_key(demands, _config())
+        assert base == stages.forecast_key(demands, _config(epsilon_pct=10.0))
+        assert base == stages.forecast_key(
+            demands, _config(algorithms=_config().algorithms[:1])
+        )
+
+    def test_forecast_key_sensitive_to_prediction_side(self):
+        demands = np.random.default_rng(0).random((6, 480))
+        base = stages.forecast_key(demands, _config())
+        assert base != stages.forecast_key(demands, _config(horizon_windows=48))
+        other_model = _config(
+            prediction=SpatialTemporalConfig(temporal_model="seasonal_naive")
+        )
+        assert base != stages.forecast_key(demands, other_model)
+        assert base != stages.forecast_key(demands + 1e-9, _config())
+
+    def test_box_result_key_folds_fault_plan(self, sample_box):
+        clean = stages.box_result_key(sample_box, _config())
+        plan = faults.parse_fault_spec("slow:p=0.5", seed=3)
+        with faults.fault_plan(plan):
+            faulted = stages.box_result_key(sample_box, _config())
+        assert clean != faulted
+        assert clean == stages.box_result_key(sample_box, _config())
+        assert clean != stages.box_result_key(sample_box, _config(), degrade=False)
+
+
+class TestWarmRuns:
+    def test_warm_run_bit_identical_with_zero_fits(
+        self, pipeline_fleet_6d, store_env
+    ):
+        cfg = _config()
+        cold = run_fleet_atm(pipeline_fleet_6d, cfg)
+        clear_memory_tiers()
+        obs.reset_metrics()
+        warm = run_fleet_atm(pipeline_fleet_6d, cfg)
+        counters = _counters()
+        assert counters.get("predict.fits", 0) == 0
+        assert counters.get("spatial.search.computed", 0) == 0
+        assert counters.get("stages.forecast.hits") == pipeline_fleet_6d.n_boxes
+        assert _aggregates(warm) == _aggregates(cold)
+
+    def test_epsilon_sweep_reuses_forecasts(self, pipeline_fleet_6d, store_env):
+        run_fleet_atm(pipeline_fleet_6d, _config())
+        clear_memory_tiers()
+        obs.reset_metrics()
+        run_fleet_atm(pipeline_fleet_6d, _config(epsilon_pct=10.0))
+        counters = _counters()
+        assert counters.get("predict.fits", 0) == 0
+        assert counters.get("spatial.search.computed", 0) == 0
+
+    def test_horizon_sweep_reuses_spatial_only(self, pipeline_fleet_6d, store_env):
+        run_fleet_atm(pipeline_fleet_6d, _config())
+        clear_memory_tiers()
+        obs.reset_metrics()
+        run_fleet_atm(pipeline_fleet_6d, _config(horizon_windows=48))
+        counters = _counters()
+        # New horizon -> new forecasts (temporal fits rerun) ...
+        assert counters.get("predict.fits") == pipeline_fleet_6d.n_boxes
+        # ... but the signature searches are served from the disk tier.
+        assert counters.get("spatial.search.computed", 0) == 0
+
+    def test_no_store_runs_stay_identical(self, pipeline_fleet_6d, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        cfg = _config()
+        clear_memory_tiers()
+        first = run_fleet_atm(pipeline_fleet_6d, cfg)
+        clear_memory_tiers()
+        second = run_fleet_atm(pipeline_fleet_6d, cfg)
+        assert _aggregates(first) == _aggregates(second)
+
+
+class TestWarmStartFit:
+    def test_fit_from_spatial_matches_full_fit(self, sample_box):
+        train = sample_box.demand_matrix()[:, :480]
+        cfg = SpatialTemporalConfig(temporal_model="seasonal_mean")
+        full = SpatialTemporalPredictor(cfg).fit(train)
+        warm = SpatialTemporalPredictor(cfg).fit_from_spatial(
+            full.spatial_model, train
+        )
+        a = full.predict(96).predictions
+        b = warm.predict(96).predictions
+        assert repr(a.tolist()) == repr(b.tolist())
+
+    def test_fit_from_spatial_validates_shape(self, sample_box):
+        train = sample_box.demand_matrix()[:, :480]
+        cfg = SpatialTemporalConfig(temporal_model="seasonal_mean")
+        full = SpatialTemporalPredictor(cfg).fit(train)
+        with pytest.raises(ValueError, match="series"):
+            SpatialTemporalPredictor(cfg).fit_from_spatial(
+                full.spatial_model, train[:-1]
+            )

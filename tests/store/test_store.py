@@ -1,0 +1,259 @@
+"""Unit tests of the content-addressed artifact store and its fingerprints."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.store import (
+    STORE_SCHEMA,
+    ArtifactKey,
+    ArtifactStore,
+    clear_memory_tiers,
+    config_fingerprint,
+    data_fingerprint,
+    default_store,
+    get_codec,
+    memory_tier,
+    register_codec,
+    registered_stages,
+)
+
+STAGE = "store_unit_test"
+
+
+def _encode(value):
+    return {"payload": np.asarray(value["payload"], dtype=float)}, value["meta"]
+
+
+def _decode(arrays, meta):
+    return {"payload": np.array(arrays["payload"], dtype=float), "meta": meta}
+
+
+register_codec(STAGE, _encode, _decode)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tiers():
+    clear_memory_tiers()
+    yield
+    clear_memory_tiers()
+
+
+def _key(config_fp="cfg", data=None):
+    data = np.arange(6.0).reshape(2, 3) if data is None else data
+    return ArtifactKey(
+        stage=STAGE, data_fp=data_fingerprint(data), config_fp=config_fp
+    )
+
+
+def _value(scale=1.0):
+    return {"payload": scale * np.arange(6.0).reshape(2, 3), "meta": {"k": 1}}
+
+
+# ------------------------------------------------------------- fingerprints
+class TestDataFingerprint:
+    def test_deterministic(self):
+        a = np.random.default_rng(0).normal(size=(4, 9))
+        assert data_fingerprint(a) == data_fingerprint(a.copy())
+
+    def test_content_sensitive(self):
+        a = np.zeros((3, 3))
+        b = a.copy()
+        b[1, 1] = 1e-12
+        assert data_fingerprint(a) != data_fingerprint(b)
+
+    def test_shape_sensitive(self):
+        a = np.arange(12.0)
+        assert data_fingerprint(a.reshape(3, 4)) != data_fingerprint(a.reshape(4, 3))
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+class TestConfigFingerprint:
+    def test_field_order_stable(self):
+        fields_ab = dataclasses.make_dataclass("Cfg", [("a", int), ("b", str)])
+        fields_ba = dataclasses.make_dataclass("Cfg", [("b", str), ("a", int)])
+        assert config_fingerprint(fields_ab(a=1, b="x")) == config_fingerprint(
+            fields_ba(b="x", a=1)
+        )
+
+    def test_value_sensitive(self):
+        cls = dataclasses.make_dataclass("Cfg", [("a", int)])
+        assert config_fingerprint(cls(a=1)) != config_fingerprint(cls(a=2))
+
+    def test_class_name_sensitive(self):
+        one = dataclasses.make_dataclass("One", [("a", int)])
+        two = dataclasses.make_dataclass("Two", [("a", int)])
+        assert config_fingerprint(one(a=1)) != config_fingerprint(two(a=1))
+
+    def test_enum_and_array_and_nan(self):
+        a = config_fingerprint({"c": _Color.RED, "m": np.zeros(3), "x": float("nan")})
+        b = config_fingerprint({"c": _Color.BLUE, "m": np.zeros(3), "x": float("nan")})
+        assert a != b
+        assert a == config_fingerprint(
+            {"c": _Color.RED, "m": np.zeros(3), "x": float("nan")}
+        )
+
+    def test_enum_distinct_from_value(self):
+        assert config_fingerprint(_Color.RED) != config_fingerprint("red")
+
+    def test_nested_containers(self):
+        assert config_fingerprint([1, (2, 3), {"k": None}]) == config_fingerprint(
+            [1, [2, 3], {"k": None}]
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            config_fingerprint(object())
+
+
+class TestArtifactKey:
+    def test_schema_default(self):
+        assert _key().schema == STORE_SCHEMA
+
+    def test_digest_sensitive_to_every_component(self):
+        base = _key()
+        assert base.digest() == _key().digest()
+        others = [
+            dataclasses.replace(base, stage="other"),
+            dataclasses.replace(base, data_fp="other"),
+            dataclasses.replace(base, config_fp="other"),
+            dataclasses.replace(base, schema="repro.store/v0"),
+        ]
+        assert len({base.digest(), *[k.digest() for k in others]}) == 5
+
+
+# -------------------------------------------------------------------- store
+class TestMemoryTier:
+    def test_memory_only_round_trip(self):
+        store = ArtifactStore(root=None)
+        assert not store.persistent
+        key = _key()
+        assert store.get(key) is None
+        value = _value()
+        store.put(key, value)
+        assert store.get(key) is value  # identity: no serialization involved
+
+    def test_memory_false_bypasses_tier(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = _key()
+        store.put(key, _value(), memory=False)
+        assert memory_tier(STAGE).get(key) is None
+        hit = store.get(key, memory=False)
+        assert hit is not None
+        assert memory_tier(STAGE).get(key) is None
+
+    def test_tiers_shared_across_instances(self):
+        key = _key()
+        ArtifactStore(root=None).put(key, _value())
+        assert ArtifactStore(root=None).get(key) is not None
+
+
+class TestDiskTier:
+    def test_round_trip_through_disk(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = _key()
+        value = _value(scale=np.pi)
+        store.put(key, value)
+        path = store.path_for(key)
+        assert path is not None and path.exists()
+        clear_memory_tiers()
+        obs.reset_metrics()
+        out = store.get(key)
+        assert out is not None
+        np.testing.assert_array_equal(out["payload"], value["payload"])
+        assert out["meta"] == value["meta"]
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters.get(f"store.{STAGE}.hit_disk") == 1
+        # The disk hit was promoted into the memory tier.
+        assert store.get(key) is out or store.get(key) is not None
+        assert memory_tier(STAGE).get(key) is not None
+
+    def test_float_payload_bit_identical(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        payload = np.random.default_rng(3).normal(size=(5, 7))
+        payload[0, 0] = np.nan
+        key = _key()
+        store.put(key, {"payload": payload, "meta": {"x": float("nan")}})
+        clear_memory_tiers()
+        out = store.get(key)
+        assert repr(out["payload"].tolist()) == repr(payload.tolist())
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = _key()
+        store.put(key, _value())
+        path = store.path_for(key)
+        path.write_bytes(b"this is not an npz file")
+        clear_memory_tiers()
+        obs.reset_metrics()
+        assert store.get(key) is None
+        assert obs.metrics_snapshot()["counters"].get(f"store.{STAGE}.corrupt") == 1
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = _key()
+        store.put(key, _value())
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[: 20])
+        clear_memory_tiers()
+        assert store.get(key) is None
+
+    def test_header_mismatch_is_stale(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = _key(config_fp="cfg-one")
+        other = _key(config_fp="cfg-two")
+        store.put(key, _value())
+        # Masquerade key's artifact as other's: the content-addressed path
+        # matches but the embedded header does not.
+        other_path = store.path_for(other)
+        other_path.parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).rename(other_path)
+        clear_memory_tiers()
+        obs.reset_metrics()
+        assert store.get(other) is None
+        assert obs.metrics_snapshot()["counters"].get(f"store.{STAGE}.stale") == 1
+
+    def test_unregistered_stage_skips_disk(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        key = ArtifactKey(stage="no_such_codec", data_fp="d", config_fp="c")
+        store.put(key, {"anything": 1}, memory=False)
+        assert store.path_for(key) is not None
+        assert not store.path_for(key).exists()
+        assert store.get(key, memory=False) is None
+
+    def test_write_failure_degrades_to_no_op(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "file-not-dir")
+        (tmp_path / "file-not-dir").write_text("occupied")
+        obs.reset_metrics()
+        store.put(_key(), _value(), memory=False)  # must not raise
+        counters = obs.metrics_snapshot()["counters"]
+        assert counters.get(f"store.{STAGE}.write_errors") == 1
+
+
+class TestDefaultStore:
+    def test_follows_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert not default_store().persistent
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        store = default_store()
+        assert store.persistent and store.root == tmp_path
+        monkeypatch.delenv("REPRO_STORE")
+        assert not default_store().persistent
+
+
+class TestCodecRegistry:
+    def test_registered_stages_include_pipeline_stages(self):
+        stages = registered_stages()
+        for name in ("spatial", "forecast", "box_result", "resize_eval", STAGE):
+            assert name in stages
+            assert get_codec(name) is not None
+
+    def test_unknown_stage_has_no_codec(self):
+        assert get_codec("definitely-not-registered") is None
