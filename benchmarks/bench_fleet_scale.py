@@ -1,0 +1,212 @@
+"""Paper-scale fleet engine — peak RSS and wall-clock vs fleet size.
+
+Sweeps the full predict+resize pipeline (``run_fleet_atm`` over a shard
+store, seasonal-mean + CBC) at 100 → 1,000 → 6,000 boxes — the last being
+the paper's actual fleet size — and records wall-clock plus peak RSS into
+``BENCH_scale.json``.  The headline assertion: **peak RSS grows
+sublinearly in fleet size**.  Shard generation streams box by box,
+workers map per-box ``.npy`` slices, and streaming aggregation folds
+results as chunks land, so a 60× larger fleet must not cost 60× the
+memory; only the disk store and the wall-clock scale with the fleet.
+
+Each scale runs in its own subprocess: ``ru_maxrss`` is a process
+*lifetime* high-water mark, so measuring scales in one process would let
+the largest run hide behind the earlier ones.  The child re-execs this
+file with ``--child``, runs one scale with ``REPRO_FORBID_FLEET_GENERATION``
+set during the pipeline phase (materializing the fleet would abort the
+run, not just inflate it), and reports its measurements as JSON.
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py [--boxes 100,1000,6000]
+        [--jobs N] [--out BENCH_scale.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+BENCH_SCHEMA = "repro.bench_scale/v1"
+DEFAULT_SCALES = (100, 1000, 6000)
+DAYS = 6  # 5 training days + 1 evaluation day, the Fig. 9/10 setup
+
+#: Sublinearity bar: across the default sweep the fleet grows 60x; the
+#: run's peak RSS may not even double.  (Measured headroom is large — the
+#: resident set is the interpreter + one box's pages + O(fleet) scalar
+#: aggregates — but the bar is what the memory contract promises.)
+MAX_RSS_GROWTH = 2.0
+
+
+def _run_one_scale(n_boxes: int, jobs, seed: int = 20160628) -> dict:
+    """Child body: shard-generate, run predict+resize, report measurements."""
+    from repro import obs
+    from repro.core import AtmConfig, run_fleet_atm
+    from repro.prediction.spatial.signatures import ClusteringMethod
+    from repro.store.shards import ShardedFleet, generate_fleet_shards
+    from repro.trace.generator import FleetConfig
+    from repro.trace.model import FORBID_GENERATION_ENV_VAR
+
+    obs.reset_metrics()
+    with tempfile.TemporaryDirectory(prefix="bench-scale-") as tmp:
+        t0 = time.perf_counter()
+        manifest = generate_fleet_shards(
+            FleetConfig(n_boxes=n_boxes, days=DAYS, seed=seed), tmp
+        )
+        shard_s = time.perf_counter() - t0
+
+        # From here on, materializing the whole fleet is a bug, not a cost.
+        os.environ[FORBID_GENERATION_ENV_VAR] = "1"
+        config = AtmConfig.with_clustering(
+            ClusteringMethod.CBC, temporal_model="seasonal_mean"
+        )
+        t0 = time.perf_counter()
+        result = run_fleet_atm(ShardedFleet(tmp), config, jobs=jobs)
+        run_s = time.perf_counter() - t0
+
+        obs.record_peak_rss()
+        snap = obs.metrics_snapshot()
+        return {
+            "boxes": n_boxes,
+            "vms": manifest.n_vms,
+            "store_bytes": manifest.total_bytes,
+            "shard_s": round(shard_s, 3),
+            "run_s": round(run_s, 3),
+            "boxes_evaluated": len(result.accuracies),
+            "reductions": len(result.reduction.results),
+            # Max across this process and every pool worker (merged gauges).
+            "peak_rss_bytes": int(snap["gauges"]["proc.peak_rss_bytes"]),
+            "bytes_mapped": int(snap["counters"].get("shards.bytes_mapped", 0)),
+        }
+
+
+def _spawn_scale(n_boxes: int, jobs) -> dict:
+    """Run one scale in a fresh subprocess and return its measurements."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out_path = handle.name
+    try:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        cmd = [sys.executable, str(Path(__file__).resolve()), "--child",
+               str(n_boxes), "--out", out_path]
+        if jobs is not None:
+            cmd += ["--jobs", str(jobs)]
+        subprocess.run(cmd, check=True, env=env)
+        with open(out_path, encoding="utf-8") as fh:
+            return json.load(fh)
+    finally:
+        try:
+            os.unlink(out_path)
+        except OSError:
+            pass
+
+
+def sweep(scales, jobs=None) -> dict:
+    """Run every scale in subprocess isolation and assemble the report."""
+    rows = [_spawn_scale(n, jobs) for n in scales]
+    report = {
+        "schema": BENCH_SCHEMA,
+        "jobs": jobs if jobs is not None else int(os.environ.get("REPRO_JOBS", 1) or 1),
+        "days": DAYS,
+        "scales": rows,
+    }
+    if len(rows) >= 2:
+        size_ratio = rows[-1]["boxes"] / rows[0]["boxes"]
+        rss_ratio = rows[-1]["peak_rss_bytes"] / rows[0]["peak_rss_bytes"]
+        report["size_ratio"] = round(size_ratio, 2)
+        report["rss_ratio"] = round(rss_ratio, 3)
+        report["sublinear"] = rss_ratio < min(MAX_RSS_GROWTH, size_ratio)
+    return report
+
+
+def _print_report(report: dict) -> None:
+    from repro.benchhelpers import print_table
+
+    print_table(
+        f"Fleet-scale sweep — predict+resize over shard stores (jobs={report['jobs']})",
+        ["boxes", "VMs", "shard s", "run s", "peak RSS MB", "mapped MB"],
+        [
+            [
+                row["boxes"],
+                row["vms"],
+                row["shard_s"],
+                row["run_s"],
+                round(row["peak_rss_bytes"] / 1e6, 1),
+                round(row["bytes_mapped"] / 1e6, 1),
+            ]
+            for row in report["scales"]
+        ],
+    )
+    if "rss_ratio" in report:
+        print(
+            f"fleet grew {report['size_ratio']}x, peak RSS grew "
+            f"{report['rss_ratio']}x -> sublinear: {report['sublinear']}"
+        )
+
+
+def _check_sublinear(report: dict) -> None:
+    assert report["sublinear"], (
+        f"peak RSS grew {report['rss_ratio']}x over a "
+        f"{report['size_ratio']}x fleet — the shard tier is not bounding "
+        f"memory (rows: {report['scales']})"
+    )
+
+
+# --------------------------------------------------------------------- pytest
+def test_fleet_scale_sublinear_rss(tmp_path):
+    """The full 100 -> 1k -> 6k sweep; minutes of wall-clock (slow suite)."""
+    report = sweep(DEFAULT_SCALES)
+    (tmp_path / "BENCH_scale.json").write_text(json.dumps(report, indent=1))
+    _print_report(report)
+    for row in report["scales"]:
+        assert row["boxes_evaluated"] == row["boxes"]
+    _check_sublinear(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--boxes", type=str, default=",".join(str(n) for n in DEFAULT_SCALES),
+        help="comma-separated fleet sizes to sweep (one size = smoke mode, "
+        "no sublinearity assertion)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per run (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--out", type=str, default="BENCH_scale.json",
+        help="write the JSON report here",
+    )
+    parser.add_argument("--child", type=int, default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        payload = _run_one_scale(args.child, args.jobs)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return 0
+
+    scales = tuple(int(n) for n in args.boxes.split(","))
+    report = sweep(scales, jobs=args.jobs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    _print_report(report)
+    print(f"wrote {args.out}")
+    if "sublinear" in report:
+        _check_sublinear(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

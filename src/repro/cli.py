@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows an operator would actually run:
+Six commands cover the workflows an operator would actually run:
 
 * ``characterize`` — the Section II study on a (synthetic or loaded) fleet.
 * ``predict``      — full-ATM prediction accuracy (Fig. 9 style).
 * ``resize``       — oracle resizing comparison across algorithms (Fig. 8).
 * ``testbed``      — the simulated MediaWiki experiment (Figs. 12/13).
 * ``generate``     — write a synthetic fleet trace to CSV.
+* ``shard``        — build a memory-mapped shard store (synthetic or from
+  CSV); ``--shards DIR`` then feeds it to the fleet commands without ever
+  materializing the fleet in RAM.
 
 Each command prints the same fixed-width tables the benchmarks produce.
 """
@@ -28,13 +31,22 @@ from repro.resizing.evaluate import ResizingAlgorithm, evaluate_fleet_resizing
 from repro.store import STORE_ENV_VAR
 from repro.tickets import DEFAULT_THRESHOLDS, correlation_cdfs, fleet_ticket_summary
 from repro.tickets.policy import TicketPolicy
-from repro.trace import FleetConfig, generate_fleet, load_fleet_csv, save_fleet_csv
+from repro.trace import (
+    FleetConfig,
+    generate_fleet,
+    load_fleet_csv,
+    load_fleet_shards,
+    save_fleet_csv,
+    shard_fleet_csv,
+)
 from repro.trace.model import Resource
 
 __all__ = ["main", "build_parser"]
 
 
 def _fleet_from_args(args: argparse.Namespace):
+    if getattr(args, "shards", None):
+        return load_fleet_shards(args.shards)
     if getattr(args, "input", None):
         return load_fleet_csv(args.input)
     config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
@@ -187,6 +199,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.store import generate_fleet_shards
+
+    if args.input:
+        manifest = shard_fleet_csv(args.input, args.output).manifest
+    else:
+        # Streaming: boxes are generated and written one at a time, so the
+        # store can exceed RAM even at build time.
+        config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
+        manifest = generate_fleet_shards(config, args.output)
+    print(
+        f"wrote shard store {args.output}: {manifest.n_boxes} boxes, "
+        f"{manifest.n_vms} VMs, {manifest.total_bytes / 1e6:.1f} MB"
+    )
+    return 0
+
+
 def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
     parser.add_argument("--boxes", type=int, default=40, help="synthetic fleet size")
     parser.add_argument("--days", type=int, default=days, help="trace length in days")
@@ -194,6 +223,12 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
     parser.add_argument(
         "--input", type=str, default=None,
         help="load a fleet CSV instead of generating one",
+    )
+    parser.add_argument(
+        "--shards", type=str, default=None, metavar="DIR",
+        help="open a memory-mapped shard store (see the `shard` command) "
+        "instead of generating or loading a fleet; workers map per-box "
+        "slices, nothing is materialized in RAM",
     )
 
 
@@ -206,7 +241,8 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-json", type=str, default=None, metavar="PATH",
         help="write the run's pipeline metrics (repro.metrics/v1 schema: "
-        "counters + span timers) to PATH as JSON",
+        "counters + span timers + gauges, incl. peak RSS and bytes "
+        "mapped) to PATH as JSON",
     )
     parser.add_argument(
         "--store", type=str, default=None, metavar="DIR",
@@ -284,6 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--days", type=int, default=7)
     generate.add_argument("--seed", type=int, default=20160628)
     generate.set_defaults(func=_cmd_generate)
+
+    shard = sub.add_parser(
+        "shard", help="build a memory-mapped shard store (synthetic or from CSV)"
+    )
+    shard.add_argument("output", type=str, help="shard store directory")
+    shard.add_argument("--boxes", type=int, default=20)
+    shard.add_argument("--days", type=int, default=7)
+    shard.add_argument("--seed", type=int, default=20160628)
+    shard.add_argument(
+        "--input", type=str, default=None,
+        help="convert this fleet CSV instead of generating synthetically",
+    )
+    shard.set_defaults(func=_cmd_shard)
 
     return parser
 

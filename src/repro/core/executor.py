@@ -32,15 +32,25 @@ Robustness knobs (both default off, preserving the fail-fast contract):
   propagates.  Attempt numbers are published to
   :mod:`repro.core.faults`, so transient (``once``) injected faults
   clear on the retry while sticky faults keep failing deterministically.
-* ``timeout`` — wall-clock bound (seconds) on a parallel ``map``; on
-  expiry, queued chunks are cancelled and a ``TimeoutError`` reports how
-  many chunks completed.  The serial path ignores it (nothing to cancel
-  in-process).
+* ``timeout`` — wall-clock bound (seconds) on a parallel ``map``/
+  ``imap``; on expiry, queued chunks are cancelled and a ``TimeoutError``
+  reports how many chunks completed.  The serial path ignores it
+  (nothing to cancel in-process).
+
+Scale: dispatch is *windowed*.  :meth:`FleetExecutor.imap` submits at
+most a few chunks per worker at a time and yields results in input order
+as their chunks land, so a 6,000-box fleet never has 6,000 task payloads
+queued in the IPC pipe nor 6,000 results parked in the parent —
+in-flight descriptors and the out-of-order buffer stay proportional to
+the worker count, not the fleet.  :meth:`FleetExecutor.map` is
+``list(imap(...))``: one dispatch path, two consumption styles.
 
 Worker observability: each chunk ships its worker-process metrics
 snapshot back with its results, and the parent merges them into the
 session registry — ``jobs=N`` reports the same :mod:`repro.obs` counters
-as ``jobs=1``.
+as ``jobs=1``.  Every chunk also records its worker's peak RSS under the
+``proc.peak_rss_bytes`` gauge (merged by max), so ``--metrics-json``
+reports the fleet's true memory high-water mark across all processes.
 """
 
 from __future__ import annotations
@@ -48,14 +58,29 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro import obs
 from repro.core import faults, runtime
 
 __all__ = ["JOBS_ENV_VAR", "FleetExecutor", "resolve_jobs", "default_chunksize"]
+
+#: In-flight chunks per worker for windowed dispatch: deep enough that no
+#: worker ever idles waiting for the parent, shallow enough that pending
+#: payloads and buffered results stay O(workers), not O(fleet).
+_INFLIGHT_CHUNKS_PER_WORKER = 4
 
 #: Environment variable consulted when no explicit ``jobs`` is given
 #: (parsed by :mod:`repro.core.runtime`).
@@ -114,6 +139,7 @@ def _run_chunk(
     """
     obs.reset_metrics()
     results = [_run_item(fn, item, common, retries) for item in items]
+    obs.record_peak_rss()
     return results, obs.metrics_snapshot()
 
 
@@ -169,10 +195,32 @@ class FleetExecutor:
         started are cancelled rather than run to completion (fail fast —
         a poisoned box should not cost the wall-clock of the whole fleet).
         """
+        return list(self.imap(fn, items, *common))
+
+    def imap(
+        self, fn: Callable[..., R], items: Iterable[T], *common: Any
+    ) -> Iterator[R]:
+        """Yield ``fn(item, *common)`` for each item, in input order.
+
+        The streaming form of :meth:`map`: same dispatch, same ordering,
+        same fail-fast and timeout semantics, but results are yielded as
+        their chunks complete instead of accumulated in a list, and at
+        most ``workers * 4`` chunks are in flight at a time.  Callers that
+        fold results incrementally (``run_fleet_atm`` with streaming
+        aggregation on) therefore hold O(workers) chunk results, not
+        O(fleet).
+
+        Out-of-order completions are buffered until their predecessors
+        land, so the caller always sees deterministic input order; the
+        buffer is bounded by the in-flight window.
+        """
         work = list(items)
         if self.jobs == 1 or len(work) <= 1:
             obs.inc("executor.items", len(work))
-            return [_run_item(fn, item, common, self.retries) for item in work]
+            for item in work:
+                yield _run_item(fn, item, common, self.retries)
+            obs.record_peak_rss()
+            return
 
         chunk = self.chunksize or default_chunksize(len(work), self.jobs)
         chunks = [work[i : i + chunk] for i in range(0, len(work), chunk)]
@@ -182,34 +230,60 @@ class FleetExecutor:
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
         )
-        results: List[Optional[List[R]]] = [None] * len(chunks)
+        window = workers * _INFLIGHT_CHUNKS_PER_WORKER
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        futures = {
-            pool.submit(_run_chunk, fn, part, common, self.retries): index
-            for index, part in enumerate(chunks)
-        }
+        pending: dict = {}  # future -> chunk index
+        buffered: dict = {}  # chunk index -> chunk results
+        next_submit = 0
+        next_yield = 0
+        completed = 0
+        wait_on_shutdown = True
         try:
-            for future in as_completed(futures, timeout=self.timeout):
-                part_results, worker_metrics = future.result()
-                results[futures[future]] = part_results
-                obs.merge_snapshot(worker_metrics)
-        except FuturesTimeoutError:
-            for future in futures:
-                future.cancel()
-            # Don't wait for in-flight chunks: a timeout exists precisely
-            # because a worker may be stuck.  Queued chunks are cancelled;
-            # running ones finish in the background.
-            pool.shutdown(wait=False, cancel_futures=True)
-            done = sum(1 for part in results if part is not None)
-            obs.inc("executor.timeouts")
-            raise TimeoutError(
-                f"fleet map timed out after {self.timeout}s with "
-                f"{done}/{len(chunks)} chunks completed"
-            ) from None
+            while next_yield < len(chunks):
+                while next_submit < len(chunks) and len(pending) < window:
+                    part = chunks[next_submit]
+                    future = pool.submit(_run_chunk, fn, part, common, self.retries)
+                    pending[future] = next_submit
+                    next_submit += 1
+                while next_yield in buffered:
+                    for item in buffered.pop(next_yield):
+                        yield item
+                    next_yield += 1
+                if next_yield >= len(chunks):
+                    break
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                done = (
+                    wait(pending, timeout=remaining, return_when=FIRST_COMPLETED).done
+                    if remaining is None or remaining > 0
+                    else ()
+                )
+                if not done:
+                    for future in pending:
+                        future.cancel()
+                    # Don't wait for in-flight chunks: a timeout exists
+                    # precisely because a worker may be stuck.  Queued
+                    # chunks are cancelled; running ones finish in the
+                    # background.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    wait_on_shutdown = False
+                    obs.inc("executor.timeouts")
+                    raise TimeoutError(
+                        f"fleet map timed out after {self.timeout}s with "
+                        f"{completed}/{len(chunks)} chunks completed"
+                    ) from None
+                for future in done:
+                    index = pending.pop(future)
+                    part_results, worker_metrics = future.result()
+                    buffered[index] = part_results
+                    obs.merge_snapshot(worker_metrics)
+                    completed += 1
         except BaseException:
-            for future in futures:
+            for future in pending:
                 future.cancel()
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=wait_on_shutdown, cancel_futures=True)
             raise
         pool.shutdown(wait=True)
-        return [item for part in results for item in part]  # type: ignore[union-attr]
+        obs.record_peak_rss()

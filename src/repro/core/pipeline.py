@@ -14,12 +14,21 @@ A failing box degrades instead of aborting the fleet: the per-box unit of
 work climbs the policy ladder (configured model → seasonal-mean fallback →
 reported failure) and :class:`FleetAtmResult.report` carries the structured
 degradation events; healthy boxes are unaffected, bit for bit.
+
+At paper scale the fleet argument can be a
+:class:`repro.store.shards.ShardedFleet`: eligibility is decided from the
+manifest alone, workers receive few-hundred-byte shard *descriptors*
+instead of pickled traces and memory-map their boxes locally, and results
+are folded into the aggregates as chunks land
+(:mod:`repro.core.streaming`) instead of accumulating a full result list
+— peak RSS stays flat as the fleet grows.  ``REPRO_STREAM_AGG=0``
+restores the materialized-list path for bit-identical verification.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.core.atm import AtmController, BoxAtmResult
@@ -32,10 +41,14 @@ from repro.core.degrade import (
 )
 from repro.core.executor import FleetExecutor
 from repro.core.results import PredictionAccuracy, ape_cdf
+from repro.core.streaming import fleet_results
 from repro.resizing.evaluate import FleetReduction, ResizingAlgorithm
 from repro.timeseries.ecdf import Ecdf
 from repro.timeseries.metrics import finite_mean
 from repro.trace.model import FleetTrace, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.shards import ShardedFleet
 
 __all__ = ["FleetAtmResult", "run_fleet_atm"]
 
@@ -96,10 +109,16 @@ def _run_box_atm(
     finished box's outcome on disk; ``resume=True`` serves those boxes
     from the store (counted as ``pipeline.resume.hits``) and computes only
     the rest — bit-identical to an uninterrupted run.
+
+    ``box`` may be a :class:`repro.store.shards.BoxShardRef`, in which
+    case the shard is memory-mapped here in the worker — the parent never
+    pickles trace data.
     """
     from repro.core import stages
     from repro.store import default_store
+    from repro.store.shards import resolve_box
 
+    box = resolve_box(box)
     store = default_store()
     key = stages.box_result_key(box, config, degrade) if store.persistent else None
     if resume and key is not None:
@@ -154,7 +173,7 @@ def _run_box_ladder(
 
 
 def run_fleet_atm(
-    fleet: FleetTrace,
+    fleet: Union[FleetTrace, "ShardedFleet"],
     config: Optional[AtmConfig] = None,
     keep_box_results: bool = False,
     jobs: Optional[int] = None,
@@ -168,6 +187,11 @@ def run_fleet_atm(
     Boxes too short for the configured training + horizon windows are
     skipped (the paper likewise restricts its ATM study to the subset of
     gap-free boxes).
+
+    ``fleet`` may be an in-RAM :class:`FleetTrace` or a
+    :class:`repro.store.shards.ShardedFleet`; for the latter, eligibility
+    is read from the manifest and workers receive shard descriptors they
+    memory-map locally — no trace data crosses the process boundary.
 
     Parameters
     ----------
@@ -198,7 +222,12 @@ def run_fleet_atm(
     cfg = config or AtmConfig()
     out = FleetAtmResult(config=cfg)
     needed = cfg.training_windows + cfg.horizon_windows
-    eligible = [box for box in fleet if box.n_windows >= needed]
+    if hasattr(fleet, "box_refs"):
+        # Sharded fleet: eligibility comes from the manifest; no shard is
+        # opened in the parent, and workers receive the refs themselves.
+        eligible = [ref for ref in fleet.box_refs() if ref.n_windows >= needed]
+    else:
+        eligible = [box for box in fleet if box.n_windows >= needed]
     if not eligible:
         raise ValueError(
             f"no box in fleet {fleet.name!r} has the {needed} windows required"
@@ -206,14 +235,18 @@ def run_fleet_atm(
     executor = FleetExecutor(jobs=jobs, chunksize=chunksize, retries=retries)
     obs.inc("pipeline.boxes", len(eligible))
     with obs.span("pipeline.fleet"):
-        results = executor.map(_run_box_atm, eligible, cfg, degrade, resume)
-    for result, events in results:
-        out.report.extend(events)
-        if result is None:
-            continue
-        out.accuracies.append(result.accuracy)
-        for reduction in result.reductions.values():
-            out.reduction.add(reduction)
-        if keep_box_results:
-            out.box_results.append(result)
+        # One fold for both the streaming and the materialized path: only
+        # the iterator differs (see repro.core.streaming), so the two are
+        # bit-identical by construction.
+        for result, events in fleet_results(
+            executor, _run_box_atm, eligible, cfg, degrade, resume
+        ):
+            out.report.extend(events)
+            if result is None:
+                continue
+            out.accuracies.append(result.accuracy)
+            for reduction in result.reductions.values():
+                out.reduction.add(reduction)
+            if keep_box_results:
+                out.box_results.append(result)
     return out

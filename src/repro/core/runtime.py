@@ -24,6 +24,10 @@ Variable                    Default    Meaning
 ``REPRO_STORE``             unset      Directory of the persistent artifact
                                        store's disk tier
                                        (see :mod:`repro.store`).
+``REPRO_STREAM_AGG``        on         Streaming constant-memory fleet
+                                       aggregation (``0`` restores the
+                                       full-result-list path for bit-identical
+                                       verification).
 ==========================  =========  =========================================
 
 Boolean gates share one falsy set: ``0``, ``false``, ``off``, ``no``
@@ -46,6 +50,7 @@ __all__ = [
     "METRICS_ENV_VAR",
     "SIGNATURE_CACHE_ENV_VAR",
     "STORE_ENV_VAR",
+    "STREAM_AGG_ENV_VAR",
     "VECTOR_ENV_VAR",
     "RuntimeSettings",
     "batched_temporal_enabled",
@@ -56,6 +61,7 @@ __all__ = [
     "settings",
     "signature_cache_enabled",
     "store_dir",
+    "stream_agg_enabled",
     "vector_spatial_enabled",
 ]
 
@@ -67,6 +73,7 @@ METRICS_ENV_VAR = "REPRO_METRICS"
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
 STORE_ENV_VAR = "REPRO_STORE"
+STREAM_AGG_ENV_VAR = "REPRO_STREAM_AGG"
 
 #: The one spelling of "disabled" every boolean gate accepts.
 _FALSY = frozenset({"0", "false", "off", "no"})
@@ -131,6 +138,11 @@ def store_dir() -> Optional[str]:
     return raw or None
 
 
+def stream_agg_enabled() -> bool:
+    """Whether streaming fleet aggregation is active (default on)."""
+    return _flag(STREAM_AGG_ENV_VAR)
+
+
 @dataclass(frozen=True)
 class RuntimeSettings:
     """One validated snapshot of every runtime gate."""
@@ -143,6 +155,7 @@ class RuntimeSettings:
     faults_spec: str
     faults_seed: int
     store_dir: Optional[str]
+    stream_agg: bool
 
 
 def settings() -> RuntimeSettings:
@@ -161,4 +174,5 @@ def settings() -> RuntimeSettings:
         faults_spec=faults_spec(),
         faults_seed=faults_seed(),
         store_dir=store_dir(),
+        stream_agg=stream_agg_enabled(),
     )

@@ -24,8 +24,14 @@ The JSON snapshot schema (``repro.metrics/v1``), also emitted by the CLI's
     {
       "schema": "repro.metrics/v1",
       "counters": {"<name>": <float>},
+      "gauges": {"<name>": <float>},
       "spans": {"<name>": {"count": <int>, "total_s": <float>, "max_s": <float>}}
     }
+
+Counters add across worker snapshots; *gauges* are high-water marks and
+merge by maximum (the one aggregation that makes sense for per-process
+peak RSS or peak bytes-mapped: the fleet's memory footprint is the worst
+process, not the sum of every process's worst moment).
 
 Metric names are dotted ``<subsystem>.<event>`` strings, e.g.
 ``online.fallback.seasonal`` or ``pipeline.box_run``.
@@ -34,6 +40,8 @@ Metric names are dotted ``<subsystem>.<event>`` strings, e.g.
 from __future__ import annotations
 
 import json
+import resource as _resource
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -44,11 +52,14 @@ __all__ = [
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "SpanStat",
+    "gauge_max",
     "get_registry",
     "inc",
     "metrics_enabled",
     "metrics_snapshot",
     "merge_snapshot",
+    "peak_rss_bytes",
+    "record_peak_rss",
     "reset_metrics",
     "span",
     "write_metrics_json",
@@ -87,9 +98,10 @@ class SpanStat:
 
 @dataclass
 class MetricsRegistry:
-    """In-process metric store: float counters plus span timers."""
+    """In-process metric store: float counters, max-gauges, span timers."""
 
     counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
     spans: Dict[str, SpanStat] = field(default_factory=dict)
 
     def inc(self, name: str, value: float = 1.0) -> None:
@@ -97,6 +109,18 @@ class MetricsRegistry:
         if not metrics_enabled():
             return
         self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if higher (no-op when off).
+
+        Gauges are high-water marks: repeated observations keep the max,
+        and worker snapshots merge by max rather than by sum.
+        """
+        if not metrics_enabled():
+            return
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = float(value)
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
@@ -118,6 +142,7 @@ class MetricsRegistry:
         return {
             "schema": METRICS_SCHEMA,
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "spans": {
                 name: {"count": s.count, "total_s": s.total_s, "max_s": s.max_s}
                 for name, s in self.spans.items()
@@ -127,8 +152,8 @@ class MetricsRegistry:
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters and span counts/totals add; span maxima take the max.
-        Used by the executor to aggregate worker-process metrics.
+        Counters and span counts/totals add; gauges and span maxima take
+        the max.  Used by the executor to aggregate worker-process metrics.
         """
         if snapshot.get("schema") != METRICS_SCHEMA:
             raise ValueError(
@@ -137,6 +162,10 @@ class MetricsRegistry:
             )
         for name, value in snapshot.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            if current is None or float(value) > current:
+                self.gauges[name] = float(value)
         for name, raw in snapshot.get("spans", {}).items():
             stat = self.spans.get(name)
             if stat is None:
@@ -147,6 +176,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self.counters.clear()
+        self.gauges.clear()
         self.spans.clear()
 
 
@@ -161,6 +191,30 @@ def get_registry() -> MetricsRegistry:
 def inc(name: str, value: float = 1.0) -> None:
     """Bump a counter on the default registry."""
     _REGISTRY.inc(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a high-water-mark gauge on the default registry."""
+    _REGISTRY.gauge_max(name, value)
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize so
+    the gauge is platform-independent.
+    """
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def record_peak_rss(name: str = "proc.peak_rss_bytes") -> int:
+    """Record the current peak RSS under gauge ``name``; returns the bytes."""
+    peak = peak_rss_bytes()
+    gauge_max(name, float(peak))
+    return peak
 
 
 def span(name: str):

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro.core import faults
 from repro.core.degrade import RUNG_FAILED, DegradationEvent, ErrorReport
+from repro.core.streaming import TicketHistogram, fleet_results
 from repro.resizing.baselines import max_min_fairness_allocation, stingy_allocation
 from repro.resizing.greedy import solve_greedy
 from repro.resizing.mckp import build_mckp
@@ -40,6 +41,9 @@ from repro.resizing.problem import ResizingProblem, tickets_for_allocation
 from repro.tickets.policy import TicketPolicy
 from repro.timeseries.metrics import finite_mean, finite_std
 from repro.trace.model import BoxTrace, FleetTrace, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.shards import ShardedFleet
 
 __all__ = [
     "ResizingAlgorithm",
@@ -176,9 +180,13 @@ class FleetReduction:
     results: List[BoxReduction] = field(default_factory=list)
     #: Boxes that failed during the fleet sweep (partial-results report).
     report: ErrorReport = field(default_factory=ErrorReport)
+    #: Streaming reduction-shape summary, folded as results arrive
+    #: (O(bins) state regardless of fleet size).
+    histogram: TicketHistogram = field(default_factory=TicketHistogram)
 
     def add(self, result: BoxReduction) -> None:
         self.results.append(result)
+        self.histogram.add(result.clipped_reduction)
 
     def _reductions(
         self, resource: Resource, algorithm: ResizingAlgorithm
@@ -314,12 +322,18 @@ def _evaluate_box_worker(
     With a persistent artifact store each completed box's sweep is
     materialized; ``resume=True`` serves stored boxes (counted as
     ``resize.resume.hits``) and computes only the rest.
+
+    The box half of ``item`` may be a
+    :class:`repro.store.shards.BoxShardRef`; the shard is memory-mapped
+    here in the worker rather than pickled by the parent.
     """
     # Local imports: repro.core.stages itself imports this module.
     from repro.core import stages
     from repro.store import default_store
+    from repro.store.shards import resolve_box
 
     box, sizing_by_resource = item
+    box = resolve_box(box)
     store = default_store()
     key = None
     if store.persistent:
@@ -380,7 +394,7 @@ def _evaluate_box_worker(
 
 
 def evaluate_fleet_resizing(
-    fleet: FleetTrace,
+    fleet: Union[FleetTrace, "ShardedFleet"],
     policy: TicketPolicy,
     algorithms: Sequence[ResizingAlgorithm] = tuple(ResizingAlgorithm),
     eval_windows: Optional[int] = None,
@@ -392,6 +406,12 @@ def evaluate_fleet_resizing(
     resume: bool = False,
 ) -> FleetReduction:
     """Run the resizing comparison across a fleet (the Fig. 8 study).
+
+    ``fleet`` may be an in-RAM :class:`FleetTrace` or a
+    :class:`repro.store.shards.ShardedFleet`; for the latter, work items
+    carry shard descriptors that workers memory-map locally, and results
+    stream into the aggregates as chunks land (``REPRO_STREAM_AGG=0``
+    restores the materialized-list path).
 
     Parameters
     ----------
@@ -417,8 +437,11 @@ def evaluate_fleet_resizing(
     """
     from repro.core.executor import FleetExecutor
 
+    # Sharded fleets contribute refs (box_id available from the manifest);
+    # in-RAM fleets contribute the boxes themselves.
+    boxes = fleet.box_refs() if hasattr(fleet, "box_refs") else fleet
     items = []
-    for box in fleet:
+    for box in boxes:
         sizing_by_resource: Dict[Resource, Optional[np.ndarray]] = {}
         if sizing_demands is not None:
             for resource in resources:
@@ -429,8 +452,12 @@ def evaluate_fleet_resizing(
 
     executor = FleetExecutor(jobs=jobs)
     obs.inc("resize.boxes", len(items))
+    summary = FleetReduction()
     with obs.span("resize.fleet"):
-        per_box = executor.map(
+        # Shared fold for the streaming and materialized paths; only the
+        # iterator differs (see repro.core.streaming).
+        for results, events in fleet_results(
+            executor,
             _evaluate_box_worker,
             items,
             tuple(resources),
@@ -440,10 +467,8 @@ def evaluate_fleet_resizing(
             epsilon_pct,
             degrade,
             resume,
-        )
-    summary = FleetReduction()
-    for results, events in per_box:
-        summary.report.extend(events)
-        for result in results:
-            summary.add(result)
+        ):
+            summary.report.extend(events)
+            for result in results:
+                summary.add(result)
     return summary

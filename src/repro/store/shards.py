@@ -1,0 +1,491 @@
+"""Memory-mapped per-box trace shards: the fleet-scale on-disk trace tier.
+
+The paper's evaluation runs on 6,000 boxes / 80,000 VMs.  Holding that
+fleet as in-RAM ``BoxTrace`` objects — and round-tripping every box
+through pickle to pool workers — is what capped the benchmarks at a few
+dozen boxes.  This module extends the store's npz codec idea down to the
+trace tier:
+
+* **One shard per box.**  A box's full usage matrix (``(2M, T)`` float64,
+  CPU rows then RAM rows, exactly :meth:`BoxTrace.usage_matrix` order) is
+  written as a plain ``.npy`` file, content-addressed by the same BLAKE2b
+  ``data_fingerprint`` the artifact store uses::
+
+      <root>/shards/<fp[:2]>/<fp>.npy
+
+  Writes are atomic (temp file + ``os.replace``) and idempotent — a shard
+  that already exists under its fingerprint is never rewritten.
+
+* **A JSON manifest** (``<root>/manifest.json``) holding everything else
+  a box needs — ids, capacities, interval — so eligibility checks, fleet
+  summaries, and work scheduling never touch the mapped data at all.
+
+* **Zero-copy box views.**  :func:`open_box` maps a shard with
+  ``np.load(..., mmap_mode="r")`` and rebuilds a :class:`BoxTrace` whose
+  VM series are *slices of the mapping*: no usage sample is copied or
+  validated again (shards are written from already-validated traces), no
+  page is resident until touched, and dropping the view unmaps it.  A
+  worker processing one box therefore holds one box's pages, not the
+  fleet's.
+
+* **Descriptor dispatch.**  :class:`BoxShardRef` is the tiny picklable
+  handle the executor ships to workers instead of trace data; the worker
+  resolves it via :func:`resolve_box`.
+
+Opening a shard marks the *shard tier active* for the process (see
+:func:`repro.trace.model.mark_shard_tier_active`): with
+``REPRO_FORBID_FLEET_GENERATION`` set, constructing a full in-RAM
+``FleetTrace`` then raises — the guard that historically proved workers
+never regenerate fleets now also proves they never materialize one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.store.fingerprint import data_fingerprint
+from repro.trace.model import (
+    BoxTrace,
+    FleetTrace,
+    VMTrace,
+    mark_shard_tier_active,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SHARDS_SCHEMA",
+    "BoxShardMeta",
+    "BoxShardRef",
+    "ShardManifest",
+    "ShardedFleet",
+    "generate_fleet_shards",
+    "load_fleet_shards",
+    "open_box",
+    "resolve_box",
+    "write_box_shard",
+    "write_fleet_shards",
+]
+
+#: Schema tag stamped into every manifest; bump on layout changes so stale
+#: shard stores are rejected loudly instead of misread.
+SHARDS_SCHEMA = "repro.shards/v1"
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class BoxShardMeta:
+    """Everything about one box *except* its usage samples.
+
+    Lives in the manifest (and travels inside :class:`BoxShardRef`), so
+    schedulers and eligibility filters never open the mapped data.
+    """
+
+    box_id: str
+    fingerprint: str
+    path: str  # shard file, relative to the store root
+    cpu_capacity: float
+    ram_capacity: float
+    vm_ids: Tuple[str, ...]
+    vm_cpu_capacities: Tuple[float, ...]
+    vm_ram_capacities: Tuple[float, ...]
+    n_windows: int
+    interval_minutes: int
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.vm_ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shard's usage matrix in bytes (float64)."""
+        return 2 * self.n_vms * self.n_windows * 8
+
+    @staticmethod
+    def from_dict(raw: dict) -> "BoxShardMeta":
+        return BoxShardMeta(
+            box_id=str(raw["box_id"]),
+            fingerprint=str(raw["fingerprint"]),
+            path=str(raw["path"]),
+            cpu_capacity=float(raw["cpu_capacity"]),
+            ram_capacity=float(raw["ram_capacity"]),
+            vm_ids=tuple(str(v) for v in raw["vm_ids"]),
+            vm_cpu_capacities=tuple(float(v) for v in raw["vm_cpu_capacities"]),
+            vm_ram_capacities=tuple(float(v) for v in raw["vm_ram_capacities"]),
+            n_windows=int(raw["n_windows"]),
+            interval_minutes=int(raw["interval_minutes"]),
+        )
+
+
+@dataclass(frozen=True)
+class BoxShardRef:
+    """Picklable descriptor of one sharded box: what workers receive.
+
+    A ref is a few hundred bytes no matter how long the trace is — the
+    executor ships refs, the worker maps the shard locally.
+    """
+
+    root: str
+    meta: BoxShardMeta
+
+    @property
+    def box_id(self) -> str:
+        return self.meta.box_id
+
+    @property
+    def n_windows(self) -> int:
+        return self.meta.n_windows
+
+    @property
+    def n_vms(self) -> int:
+        return self.meta.n_vms
+
+    def resolve(self) -> BoxTrace:
+        """Open the shard and return the memory-mapped :class:`BoxTrace` view."""
+        return open_box(self.root, self.meta)
+
+
+@dataclass
+class ShardManifest:
+    """The shard store's index: fleet identity plus per-box metadata."""
+
+    name: str
+    boxes: List[BoxShardMeta]
+    schema: str = SHARDS_SCHEMA
+
+    @property
+    def n_boxes(self) -> int:
+        return len(self.boxes)
+
+    @property
+    def n_vms(self) -> int:
+        return sum(meta.n_vms for meta in self.boxes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(meta.nbytes for meta in self.boxes)
+
+    def save(self, root: Union[str, Path]) -> Path:
+        """Atomically write the manifest under ``root``."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": self.schema,
+            "name": self.name,
+            "boxes": [asdict(meta) for meta in self.boxes],
+        }
+        target = root / MANIFEST_NAME
+        fd, tmp_name = tempfile.mkstemp(dir=root, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    @staticmethod
+    def load(root: Union[str, Path]) -> "ShardManifest":
+        """Read and validate the manifest under ``root``."""
+        path = Path(root) / MANIFEST_NAME
+        with path.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+        schema = payload.get("schema")
+        if schema != SHARDS_SCHEMA:
+            raise ValueError(
+                f"shard manifest {path} has schema {schema!r}; "
+                f"expected {SHARDS_SCHEMA!r}"
+            )
+        return ShardManifest(
+            name=str(payload.get("name", "sharded")),
+            boxes=[BoxShardMeta.from_dict(raw) for raw in payload["boxes"]],
+        )
+
+
+# ------------------------------------------------------------------ writing
+def _shard_relpath(fingerprint: str) -> str:
+    return f"shards/{fingerprint[:2]}/{fingerprint}.npy"
+
+
+def write_box_shard(box: BoxTrace, root: Union[str, Path]) -> BoxShardMeta:
+    """Write one box's usage matrix as a content-addressed ``.npy`` shard.
+
+    Idempotent: a shard already present under its fingerprint is left
+    untouched (content addressing makes the bytes identical by
+    construction).  Returns the manifest entry describing the box.
+    """
+    root = Path(root)
+    matrix = np.ascontiguousarray(box.usage_matrix(), dtype=np.float64)
+    fingerprint = data_fingerprint(matrix)
+    rel = _shard_relpath(fingerprint)
+    target = root / rel
+    if not target.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=".tmp-", suffix=".npy"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, matrix)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        obs.inc("shards.writes")
+        obs.inc("shards.bytes_written", float(matrix.nbytes))
+    return BoxShardMeta(
+        box_id=box.box_id,
+        fingerprint=fingerprint,
+        path=rel,
+        cpu_capacity=float(box.cpu_capacity),
+        ram_capacity=float(box.ram_capacity),
+        vm_ids=tuple(vm.vm_id for vm in box.vms),
+        vm_cpu_capacities=tuple(float(vm.cpu_capacity) for vm in box.vms),
+        vm_ram_capacities=tuple(float(vm.ram_capacity) for vm in box.vms),
+        n_windows=box.n_windows,
+        interval_minutes=box.interval_minutes,
+    )
+
+
+def write_fleet_shards(
+    boxes: Union[FleetTrace, Iterable[BoxTrace]],
+    root: Union[str, Path],
+    name: Optional[str] = None,
+) -> ShardManifest:
+    """Shard a fleet (or any box iterable) under ``root`` and write the manifest.
+
+    Accepts a *generator* of boxes, which is the fleet-scale entry point:
+    each box is written and dropped before the next is produced, so a
+    6,000-box store is built with one box of peak memory.
+    """
+    if name is None:
+        name = boxes.name if isinstance(boxes, FleetTrace) else "sharded"
+    metas = [write_box_shard(box, root) for box in boxes]
+    manifest = ShardManifest(name=name, boxes=metas)
+    manifest.save(root)
+    return manifest
+
+
+def generate_fleet_shards(
+    cfg, root: Union[str, Path], name: str = "synthetic"
+) -> ShardManifest:
+    """Generate a synthetic fleet straight into a shard store.
+
+    Streams ``generate_box`` output box by box — the full fleet is never
+    resident.  Honours the ``REPRO_FORBID_FLEET_GENERATION`` guard like
+    ``generate_fleet`` itself.
+    """
+    from repro.trace.generator import check_generation_allowed, generate_box
+
+    check_generation_allowed()
+    return write_fleet_shards(
+        (generate_box(index, cfg) for index in range(cfg.n_boxes)), root, name=name
+    )
+
+
+# ------------------------------------------------------------------ reading
+def _view_vm(
+    vm_id: str,
+    cpu_capacity: float,
+    ram_capacity: float,
+    cpu_usage: np.ndarray,
+    ram_usage: np.ndarray,
+) -> VMTrace:
+    """Build a VMTrace over mapped slices without copying or revalidating.
+
+    ``__post_init__`` validation clips into fresh arrays; shard contents
+    were validated when the source trace was built, so the view keeps the
+    mapped (read-only) slices as-is.
+    """
+    vm = object.__new__(VMTrace)
+    vm.vm_id = vm_id
+    vm.cpu_capacity = cpu_capacity
+    vm.ram_capacity = ram_capacity
+    vm.cpu_usage = cpu_usage
+    vm.ram_usage = ram_usage
+    return vm
+
+
+def _view_box(meta: BoxShardMeta, matrix: np.ndarray) -> BoxTrace:
+    m = meta.n_vms
+    vms = [
+        _view_vm(
+            meta.vm_ids[i],
+            meta.vm_cpu_capacities[i],
+            meta.vm_ram_capacities[i],
+            matrix[i],
+            matrix[m + i],
+        )
+        for i in range(m)
+    ]
+    box = object.__new__(BoxTrace)
+    box.box_id = meta.box_id
+    box.cpu_capacity = meta.cpu_capacity
+    box.ram_capacity = meta.ram_capacity
+    box.vms = vms
+    box.interval_minutes = meta.interval_minutes
+    return box
+
+
+def open_box(
+    root: Union[str, Path], meta: BoxShardMeta, verify: bool = False
+) -> BoxTrace:
+    """Map one shard and return the :class:`BoxTrace` view over it.
+
+    ``verify=True`` re-hashes the mapped matrix against the manifest
+    fingerprint (reads every page once — a paranoia mode for foreign
+    stores, off on the hot path).  Shape or fingerprint mismatches raise
+    ``ValueError``: a shard store is authored by this module, so damage
+    is a real error, not a cache miss.
+    """
+    path = Path(root) / meta.path
+    matrix = np.load(path, mmap_mode="r", allow_pickle=False)
+    expected = (2 * meta.n_vms, meta.n_windows)
+    if matrix.ndim != 2 or matrix.shape != expected or matrix.dtype != np.float64:
+        raise ValueError(
+            f"shard {path} does not match its manifest entry for box "
+            f"{meta.box_id!r}: shape {matrix.shape}/{matrix.dtype}, "
+            f"expected {expected}/float64"
+        )
+    if verify and data_fingerprint(np.asarray(matrix)) != meta.fingerprint:
+        raise ValueError(
+            f"shard {path} content does not match manifest fingerprint "
+            f"{meta.fingerprint} for box {meta.box_id!r}"
+        )
+    mark_shard_tier_active()
+    obs.inc("shards.boxes_opened")
+    obs.inc("shards.bytes_mapped", float(matrix.nbytes))
+    obs.gauge_max("shards.max_box_bytes", float(matrix.nbytes))
+    return _view_box(meta, matrix)
+
+
+def resolve_box(item: Union[BoxTrace, BoxShardRef]) -> BoxTrace:
+    """Turn a work item into a BoxTrace: refs are mapped, boxes pass through.
+
+    The one function per-box workers call first, so every fleet entry
+    point accepts in-RAM fleets and shard stores interchangeably.
+    """
+    if isinstance(item, BoxShardRef):
+        return item.resolve()
+    return item
+
+
+class ShardedFleet:
+    """A fleet backed by a shard store: iterable like ``FleetTrace``,
+    resident like a manifest.
+
+    Boxes are opened lazily, one memory-mapped view per ``__iter__`` step
+    or :meth:`box_by_id` call; nothing about the construction touches the
+    shard data.  :meth:`box_refs` yields the descriptors the executor
+    ships to workers.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], manifest: Optional[ShardManifest] = None
+    ) -> None:
+        self.root = Path(root)
+        self.manifest = manifest if manifest is not None else ShardManifest.load(root)
+
+    # ------------------------------------------------------- fleet-like API
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    @property
+    def n_boxes(self) -> int:
+        return self.manifest.n_boxes
+
+    @property
+    def n_vms(self) -> int:
+        return self.manifest.n_vms
+
+    @property
+    def n_series(self) -> int:
+        return 2 * self.n_vms
+
+    def __len__(self) -> int:
+        return self.n_boxes
+
+    def __iter__(self) -> Iterator[BoxTrace]:
+        for meta in self.manifest.boxes:
+            yield open_box(self.root, meta)
+
+    def box_by_id(self, box_id: str) -> BoxTrace:
+        for meta in self.manifest.boxes:
+            if meta.box_id == box_id:
+                return open_box(self.root, meta)
+        raise KeyError(f"no box {box_id!r} in sharded fleet {self.name!r}")
+
+    def summary(self) -> dict:
+        """Headline statistics from the manifest alone (no data touched)."""
+        vms_per_box = [meta.n_vms for meta in self.manifest.boxes]
+        return {
+            "boxes": float(self.n_boxes),
+            "vms": float(self.n_vms),
+            "series": float(self.n_series),
+            "mean_vms_per_box": float(np.mean(vms_per_box)),
+            "max_vms_per_box": float(np.max(vms_per_box)),
+            "windows": float(self.manifest.boxes[0].n_windows),
+            "mapped_bytes": float(self.manifest.total_bytes),
+        }
+
+    # ----------------------------------------------------------- dispatch
+    def box_refs(self) -> List[BoxShardRef]:
+        """Per-box descriptors for zero-pickle worker dispatch."""
+        root = str(self.root)
+        return [BoxShardRef(root=root, meta=meta) for meta in self.manifest.boxes]
+
+    def materialize(self) -> FleetTrace:
+        """Load every box into RAM as a plain :class:`FleetTrace`.
+
+        Guarded: with ``REPRO_FORBID_FLEET_GENERATION`` set this raises —
+        a process on the shard path (the flag any ``open_box`` sets) must
+        never hold the whole fleet.  Intended for small fleets in tests
+        and for verification against the in-RAM reference path.
+        """
+        mark_shard_tier_active()
+        boxes = []
+        for meta in self.manifest.boxes:
+            view = open_box(self.root, meta)
+            # Deep-copy out of the mapping: a materialized fleet must not
+            # keep file handles alive behind the caller's back.
+            boxes.append(
+                BoxTrace(
+                    box_id=view.box_id,
+                    cpu_capacity=view.cpu_capacity,
+                    ram_capacity=view.ram_capacity,
+                    vms=[
+                        VMTrace(
+                            vm_id=vm.vm_id,
+                            cpu_capacity=vm.cpu_capacity,
+                            ram_capacity=vm.ram_capacity,
+                            cpu_usage=np.array(vm.cpu_usage, dtype=float),
+                            ram_usage=np.array(vm.ram_usage, dtype=float),
+                        )
+                        for vm in view.vms
+                    ],
+                    interval_minutes=view.interval_minutes,
+                )
+            )
+        return FleetTrace(boxes=boxes, name=self.name)
+
+
+def load_fleet_shards(root: Union[str, Path]) -> ShardedFleet:
+    """Open a shard store written by :func:`write_fleet_shards`."""
+    return ShardedFleet(root)

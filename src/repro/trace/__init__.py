@@ -12,7 +12,13 @@ can be analyzed with the identical pipeline.
 """
 
 from repro.trace.generator import FleetConfig, generate_box, generate_fleet
-from repro.trace.loader import load_fleet_csv, save_fleet_csv
+from repro.trace.loader import (
+    load_fleet_csv,
+    load_fleet_shards,
+    save_fleet_csv,
+    save_fleet_shards,
+    shard_fleet_csv,
+)
 from repro.trace.model import (
     BoxTrace,
     FleetTrace,
@@ -31,5 +37,8 @@ __all__ = [
     "generate_box",
     "generate_fleet",
     "load_fleet_csv",
+    "load_fleet_shards",
     "save_fleet_csv",
+    "save_fleet_shards",
+    "shard_fleet_csv",
 ]

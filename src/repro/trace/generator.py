@@ -32,17 +32,34 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.trace.model import BoxTrace, FleetTrace, VMTrace
+from repro.trace.model import FORBID_GENERATION_ENV_VAR, BoxTrace, FleetTrace, VMTrace
 from repro.trace.workloads import ar1_noise, bursts, diurnal
 
-__all__ = ["FleetConfig", "FORBID_GENERATION_ENV_VAR", "generate_fleet", "generate_box"]
+__all__ = [
+    "FleetConfig",
+    "FORBID_GENERATION_ENV_VAR",
+    "check_generation_allowed",
+    "generate_fleet",
+    "generate_box",
+]
 
-#: When set (to anything but ``""``/``0``), :func:`generate_fleet` raises.
-#: The parallel execution engine ships pickled ``BoxTrace`` objects to its
-#: pool workers; a worker that falls back to regenerating a fleet would
-#: silently multiply the dominant data-synthesis cost by the worker count.
-#: Tests set this variable around parallel runs to prove workers never do.
-FORBID_GENERATION_ENV_VAR = "REPRO_FORBID_FLEET_GENERATION"
+# FORBID_GENERATION_ENV_VAR (canonically defined in repro.trace.model, which
+# also enforces the materialization half of the guard): when set to anything
+# but ""/"0", :func:`generate_fleet` raises.  The parallel execution engine
+# ships shard descriptors or pickled ``BoxTrace`` objects to its pool
+# workers; a worker that falls back to regenerating a fleet would silently
+# multiply the dominant data-synthesis cost by the worker count.  Tests set
+# this variable around parallel runs to prove workers never do.
+
+
+def check_generation_allowed() -> None:
+    """Raise when the worker guard forbids fleet-scale data synthesis."""
+    if os.environ.get(FORBID_GENERATION_ENV_VAR, "").strip() not in ("", "0"):
+        raise RuntimeError(
+            f"fleet generation is forbidden ({FORBID_GENERATION_ENV_VAR} is set): "
+            "pool workers must operate on shard descriptors or pickled BoxTrace "
+            "objects shipped from the parent process, never regenerate fleets"
+        )
 
 
 @dataclass(frozen=True)
@@ -441,12 +458,7 @@ def generate_box(
 
 def generate_fleet(cfg: Optional[FleetConfig] = None, name: str = "synthetic") -> FleetTrace:
     """Generate a full fleet trace from a :class:`FleetConfig`."""
-    if os.environ.get(FORBID_GENERATION_ENV_VAR, "").strip() not in ("", "0"):
-        raise RuntimeError(
-            f"fleet generation is forbidden ({FORBID_GENERATION_ENV_VAR} is set): "
-            "pool workers must operate on pickled BoxTrace objects shipped from "
-            "the parent process, never regenerate fleets"
-        )
+    check_generation_allowed()
     cfg = cfg or FleetConfig()
     boxes = [generate_box(b, cfg) for b in range(cfg.n_boxes)]
     return FleetTrace(boxes=boxes, name=name)

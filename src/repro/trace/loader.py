@@ -1,6 +1,6 @@
-"""CSV persistence for fleet traces.
+"""Fleet-trace persistence: long-format CSV and memory-mapped shard stores.
 
-The on-disk layout mirrors what a monitoring exporter would produce — one
+The CSV layout mirrors what a monitoring exporter would produce — one
 long-format CSV with a row per (box, vm, resource, window) observation plus
 capacity columns — so real monitoring dumps in the same shape can be loaded
 and pushed through the identical analysis pipeline.
@@ -9,6 +9,13 @@ Format (header included):
 
     box_id,box_cpu_capacity,box_ram_capacity,vm_id,vm_cpu_capacity,
     vm_ram_capacity,window,cpu_used_pct,ram_used_pct
+
+For fleets too large to hold in RAM, the *shard store*
+(:mod:`repro.store.shards`) is the paper-scale format: one content-addressed
+``.npy`` usage matrix per box plus a JSON manifest, opened as ``np.memmap``
+views.  :func:`save_fleet_shards` / :func:`load_fleet_shards` are re-exported
+here so trace persistence has one front door; :func:`shard_fleet_csv`
+converts a monitoring CSV into a shard store box by box.
 """
 
 from __future__ import annotations
@@ -16,13 +23,22 @@ from __future__ import annotations
 import csv
 from collections import OrderedDict
 from pathlib import Path
-from typing import List, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro.trace.model import BoxTrace, FleetTrace, VMTrace
 
-__all__ = ["save_fleet_csv", "load_fleet_csv"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.shards import ShardedFleet, ShardManifest
+
+__all__ = [
+    "load_fleet_csv",
+    "load_fleet_shards",
+    "save_fleet_csv",
+    "save_fleet_shards",
+    "shard_fleet_csv",
+]
 
 _HEADER = [
     "box_id",
@@ -142,3 +158,41 @@ def load_fleet_csv(
             )
         )
     return FleetTrace(boxes=built, name=name)
+
+
+# Shard-store persistence delegates to repro.store.shards; the imports are
+# lazy because repro.store itself imports the trace model (the package
+# re-exports would otherwise form an import cycle at startup).
+def save_fleet_shards(
+    fleet: FleetTrace, root: Union[str, Path], name: Optional[str] = None
+) -> "ShardManifest":
+    """Write a fleet as a memory-mapped shard store under ``root``."""
+    from repro.store.shards import write_fleet_shards
+
+    return write_fleet_shards(fleet, root, name=name)
+
+
+def load_fleet_shards(root: Union[str, Path]) -> "ShardedFleet":
+    """Open a shard store previously written by :func:`save_fleet_shards`."""
+    from repro.store.shards import load_fleet_shards as _load
+
+    return _load(root)
+
+
+def shard_fleet_csv(
+    csv_path: Union[str, Path],
+    root: Union[str, Path],
+    interval_minutes: int = 15,
+    name: str = "loaded",
+) -> "ShardedFleet":
+    """Convert a monitoring CSV into a shard store and open it.
+
+    The CSV parse itself builds the in-RAM fleet (the long format is not
+    seekable per box), so this is the migration path for traces that *fit*
+    once; afterwards every run maps slices instead of re-parsing CSV.
+    """
+    from repro.store.shards import ShardedFleet, write_fleet_shards
+
+    fleet = load_fleet_csv(csv_path, interval_minutes=interval_minutes, name=name)
+    manifest = write_fleet_shards(fleet, root, name=name)
+    return ShardedFleet(root, manifest=manifest)

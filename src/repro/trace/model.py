@@ -19,19 +19,55 @@ Conventions (matching the paper's monitoring data):
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
+    "FORBID_GENERATION_ENV_VAR",
     "MAX_USAGE_PCT",
     "Resource",
     "SeriesKey",
     "VMTrace",
     "BoxTrace",
     "FleetTrace",
+    "mark_shard_tier_active",
+    "shard_tier_active",
 ]
+
+#: When set (to anything but ``""``/``0``) this guard forbids work that
+#: multiplies fleet-scale memory or compute inside pool workers: fleet
+#: *generation* (enforced by :func:`repro.trace.generator.generate_fleet`,
+#: which re-exports this name) and — once the memory-mapped shard tier is
+#: active in a process — full-fleet *materialization* (constructing a
+#: :class:`FleetTrace`, enforced below).  Workers on the shard path build
+#: per-box views over mapped arrays; holding the whole fleet would defeat
+#: the bounded-memory contract the tests pin down.
+FORBID_GENERATION_ENV_VAR = "REPRO_FORBID_FLEET_GENERATION"
+
+# Process-local marker: flipped by repro.store.shards the first time a
+# shard-backed box view is opened in this process (workers inherit a set
+# flag across fork).  Only meaningful combined with the guard variable.
+_SHARD_TIER_ACTIVE = False
+
+
+def mark_shard_tier_active() -> None:
+    """Record that this process has opened memory-mapped trace shards."""
+    global _SHARD_TIER_ACTIVE
+    _SHARD_TIER_ACTIVE = True
+
+
+def shard_tier_active() -> bool:
+    """Whether any shard-backed box view was opened in this process."""
+    return _SHARD_TIER_ACTIVE
+
+
+def _materialization_forbidden() -> bool:
+    if not _SHARD_TIER_ACTIVE:
+        return False
+    return os.environ.get(FORBID_GENERATION_ENV_VAR, "").strip() not in ("", "0")
 
 #: Upper validation bound for usage percentages.  Values above 100 model
 #: uncapped VMs consuming past their entitlement (common on AIX shared
@@ -248,6 +284,13 @@ class FleetTrace:
     name: str = "fleet"
 
     def __post_init__(self) -> None:
+        if _materialization_forbidden():
+            raise RuntimeError(
+                f"full-fleet materialization is forbidden "
+                f"({FORBID_GENERATION_ENV_VAR} is set and the shard tier is "
+                f"active): processes on the shard path operate on per-box "
+                f"memory-mapped views, never a whole in-RAM FleetTrace"
+            )
         if not self.boxes:
             raise ValueError("fleet contains no boxes")
         ids = [box.box_id for box in self.boxes]

@@ -163,6 +163,54 @@ class TestFleetExecutorMap:
         assert FleetExecutor(jobs=4).map(_square, [5]) == [25]
 
 
+class TestFleetExecutorImap:
+    """The streaming dispatch `map` is built on: ordered, windowed, lazy."""
+
+    def test_parallel_order_preserved(self):
+        items = list(range(23))
+        streamed = list(FleetExecutor(jobs=3, chunksize=2).imap(_square, items))
+        assert streamed == [x * x for x in items]
+
+    def test_matches_map(self):
+        items = list(range(17))
+        executor = FleetExecutor(jobs=2, chunksize=4)
+        assert list(executor.imap(_square, items)) == executor.map(_square, items)
+
+    def test_serial_consumption_is_lazy(self):
+        # jobs=1 runs in-process (no pickling), so a closure can observe
+        # that items are computed one `next()` at a time, not up front.
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        iterator = FleetExecutor(jobs=1).imap(record, range(5))
+        assert next(iterator) == 0
+        assert calls == [0]
+        assert list(iterator) == [1, 2, 3, 4]
+
+    def test_exception_fails_fast(self, tmp_path):
+        iterator = FleetExecutor(jobs=2, chunksize=1).imap(
+            _poison_or_sleep, list(range(10)), str(tmp_path)
+        )
+        with pytest.raises(RuntimeError, match="poisoned box"):
+            list(iterator)
+        assert len(list(tmp_path.glob("done-*"))) < 9
+
+    def test_timeout_applies(self):
+        executor = FleetExecutor(jobs=2, chunksize=1, timeout=0.3)
+        with pytest.raises(TimeoutError, match="timed out"):
+            list(executor.imap(_sleep_item, [1, 2]))
+
+    def test_abandoned_iterator_releases_pool(self):
+        # Closing mid-stream must cancel queued chunks and shut the pool
+        # down (promptly — queued work is dropped, not drained).
+        iterator = FleetExecutor(jobs=2, chunksize=1).imap(_square, list(range(12)))
+        assert next(iterator) == 0
+        iterator.close()
+
+
 class TestRetries:
     def test_serial_retry_recovers_transient_failure(self, tmp_path):
         from repro import obs

@@ -1,0 +1,184 @@
+"""Streaming aggregation: bit-identity with the list path, shard dispatch.
+
+The acceptance bar for the streaming engine: with ``REPRO_STREAM_AGG`` on
+(default) versus off (the materialized legacy path), every downstream
+number — per-box accuracies, ticket counts, fleet means, degradation
+reports — is bit-identical, including on fleets where injected faults
+drive boxes down the degradation ladder.  And a shard-backed fleet must
+reproduce the in-RAM fleet's results exactly while workers receive only
+descriptors.
+"""
+
+import math
+
+import pytest
+
+from repro.benchhelpers.scaling import fingerprint_result
+from repro.core.config import AtmConfig
+from repro.core.pipeline import run_fleet_atm
+from repro.core.runtime import STREAM_AGG_ENV_VAR, stream_agg_enabled
+from repro.core.streaming import TicketHistogram
+from repro.prediction.spatial.signatures import ClusteringMethod
+from repro.resizing.evaluate import evaluate_fleet_resizing
+from repro.store.shards import write_fleet_shards, load_fleet_shards
+from repro.tickets.policy import TicketPolicy
+from repro.trace import model
+from repro.trace.model import FORBID_GENERATION_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shard_tier():
+    model._SHARD_TIER_ACTIVE = False
+    yield
+    model._SHARD_TIER_ACTIVE = False
+
+
+@pytest.fixture()
+def atm_config():
+    return AtmConfig.with_clustering(
+        ClusteringMethod.CBC, temporal_model="seasonal_mean"
+    )
+
+
+class TestGate:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv(STREAM_AGG_ENV_VAR, raising=False)
+        assert stream_agg_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "0")
+        assert not stream_agg_enabled()
+
+    def test_settings_snapshot_carries_gate(self, monkeypatch):
+        from repro.core.runtime import settings
+
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "off")
+        assert settings().stream_agg is False
+
+
+class TestStreamingEquivalence:
+    """Streaming fold == materialized fold, bit for bit."""
+
+    def test_atm_identical_on_degraded_fleet(
+        self, pipeline_fleet_6d, atm_config, monkeypatch
+    ):
+        # Inject primary-fit faults so boxes actually climb the ladder:
+        # equivalence must hold for reports too, not just happy paths.
+        monkeypatch.setenv("REPRO_FAULTS", "fit_error:p=0.5")
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "1")
+        streamed = run_fleet_atm(pipeline_fleet_6d, atm_config, jobs=2, chunksize=1)
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "0")
+        listed = run_fleet_atm(pipeline_fleet_6d, atm_config, jobs=2, chunksize=1)
+        assert fingerprint_result(streamed) == fingerprint_result(listed)
+        assert streamed.report == listed.report
+        assert not streamed.report.ok  # the faults really fired
+
+    def test_resize_identical_on_faulty_fleet(self, small_fleet, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:p=0.4")
+        policy = TicketPolicy(60.0)
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "1")
+        streamed = evaluate_fleet_resizing(
+            small_fleet, policy, eval_windows=96, jobs=2
+        )
+        monkeypatch.setenv(STREAM_AGG_ENV_VAR, "0")
+        listed = evaluate_fleet_resizing(small_fleet, policy, eval_windows=96, jobs=2)
+        assert streamed.results == listed.results
+        assert streamed.report == listed.report
+        assert not streamed.report.ok
+        assert streamed.histogram.as_dict() == listed.histogram.as_dict()
+
+    def test_serial_streaming_matches_parallel(self, pipeline_fleet_6d, atm_config):
+        serial = run_fleet_atm(pipeline_fleet_6d, atm_config, jobs=1)
+        parallel = run_fleet_atm(pipeline_fleet_6d, atm_config, jobs=3, chunksize=1)
+        assert fingerprint_result(serial) == fingerprint_result(parallel)
+
+
+class TestShardedDispatch:
+    """Shard-backed fleets: descriptor dispatch, identical numbers."""
+
+    def test_atm_sharded_matches_in_ram(
+        self, tmp_path, pipeline_fleet_6d, atm_config
+    ):
+        write_fleet_shards(pipeline_fleet_6d, tmp_path)
+        sharded = load_fleet_shards(tmp_path)
+        reference = run_fleet_atm(pipeline_fleet_6d, atm_config, jobs=1)
+        via_shards = run_fleet_atm(sharded, atm_config, jobs=1)
+        assert fingerprint_result(via_shards) == fingerprint_result(reference)
+
+    def test_resize_sharded_matches_in_ram(self, tmp_path, small_fleet):
+        write_fleet_shards(small_fleet, tmp_path)
+        sharded = load_fleet_shards(tmp_path)
+        policy = TicketPolicy(60.0)
+        reference = evaluate_fleet_resizing(small_fleet, policy, eval_windows=96)
+        via_shards = evaluate_fleet_resizing(sharded, policy, eval_windows=96)
+        assert via_shards.results == reference.results
+
+    def test_parallel_sharded_run_with_materialization_forbidden(
+        self, tmp_path, pipeline_fleet_6d, atm_config, monkeypatch
+    ):
+        # The regression the guard satellite pins down: with the shard tier
+        # active and the guard set, a parallel run must complete — workers
+        # map per-box views and never build a FleetTrace.  (Forked workers
+        # inherit both the env var and the active-tier flag.)
+        write_fleet_shards(pipeline_fleet_6d, tmp_path)
+        sharded = load_fleet_shards(tmp_path)
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        result = run_fleet_atm(sharded, atm_config, jobs=2, chunksize=1)
+        assert len(result.accuracies) == pipeline_fleet_6d.n_boxes
+        # The *parent* never opened a shard (only workers did), so its own
+        # tier flag is still clear; materialize() marks it before loading
+        # and therefore trips the guard.
+        assert not model.shard_tier_active()
+        with pytest.raises(RuntimeError, match="materialization is forbidden"):
+            sharded.materialize()
+
+    def test_eligibility_from_manifest(self, tmp_path, small_fleet, atm_config):
+        # A one-day fleet is too short for the 6-day ATM setup; the sharded
+        # path must reject it from the manifest alone, like the in-RAM path.
+        write_fleet_shards(small_fleet, tmp_path)
+        with pytest.raises(ValueError, match="windows required"):
+            run_fleet_atm(load_fleet_shards(tmp_path), atm_config)
+
+
+class TestTicketHistogram:
+    def test_counts_and_mean(self):
+        hist = TicketHistogram(width=5.0)
+        values = (-100.0, -1.0, 0.0, 4.999, 5.0, 100.0)
+        for value in values:
+            hist.add(value)
+        assert hist.total == 6
+        assert hist.nan_count == 0
+        assert sum(hist.counts) == 6
+        assert hist.counts[0] == 1          # -100 lands in the first bin
+        assert hist.counts[-1] == 1         # 100 clamps into the last bin
+        assert hist.mean() == pytest.approx(sum(values) / 6)
+
+    def test_nan_tallied_separately(self):
+        hist = TicketHistogram()
+        hist.add(float("nan"))
+        hist.add(50.0)
+        assert hist.total == 2
+        assert hist.nan_count == 1
+        assert hist.finite_count == 1
+        assert hist.mean() == 50.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(TicketHistogram().mean())
+
+    def test_as_dict_shape(self):
+        hist = TicketHistogram(width=10.0)
+        hist.add(-5.0)
+        data = hist.as_dict()
+        assert len(data["edges"]) == len(data["counts"]) + 1
+        assert data["edges"][0] == -100.0
+        assert data["edges"][-1] == 100.0
+        assert data["total"] == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            TicketHistogram(width=0.0)
+
+    def test_fleet_reduction_folds_histogram(self, small_fleet):
+        policy = TicketPolicy(60.0)
+        summary = evaluate_fleet_resizing(small_fleet, policy, eval_windows=96)
+        assert summary.histogram.total == len(summary.results)

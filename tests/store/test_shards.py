@@ -1,0 +1,236 @@
+"""Memory-mapped shard store: round-trip, manifest, refs, and the guard."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.store.shards import (
+    SHARDS_SCHEMA,
+    BoxShardRef,
+    ShardedFleet,
+    ShardManifest,
+    generate_fleet_shards,
+    load_fleet_shards,
+    open_box,
+    resolve_box,
+    write_box_shard,
+    write_fleet_shards,
+)
+from repro.trace import model
+from repro.trace.generator import FleetConfig, generate_fleet
+from repro.trace.model import FORBID_GENERATION_ENV_VAR, FleetTrace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shard_tier():
+    """Isolate the process-wide "shard tier active" marker per test."""
+    model._SHARD_TIER_ACTIVE = False
+    yield
+    model._SHARD_TIER_ACTIVE = False
+
+
+@pytest.fixture()
+def store(tmp_path, small_fleet):
+    root = tmp_path / "shards"
+    manifest = write_fleet_shards(small_fleet, root)
+    return root, manifest
+
+
+class TestRoundTrip:
+    def test_views_bit_identical_to_source(self, store, small_fleet):
+        root, _ = store
+        sharded = load_fleet_shards(root)
+        assert sharded.n_boxes == small_fleet.n_boxes
+        for original, view in zip(small_fleet, sharded):
+            assert view.box_id == original.box_id
+            assert view.cpu_capacity == original.cpu_capacity
+            assert view.ram_capacity == original.ram_capacity
+            assert view.interval_minutes == original.interval_minutes
+            np.testing.assert_array_equal(
+                view.usage_matrix(), original.usage_matrix()
+            )
+            for vm_orig, vm_view in zip(original.vms, view.vms):
+                assert vm_view.vm_id == vm_orig.vm_id
+                assert vm_view.cpu_capacity == vm_orig.cpu_capacity
+                np.testing.assert_array_equal(vm_view.cpu_usage, vm_orig.cpu_usage)
+                np.testing.assert_array_equal(vm_view.ram_usage, vm_orig.ram_usage)
+
+    def test_views_are_readonly_mappings(self, store):
+        root, manifest = store
+        view = open_box(root, manifest.boxes[0])
+        with pytest.raises((ValueError, RuntimeError)):
+            view.vms[0].cpu_usage[0] = 1.0
+
+    def test_materialize_equals_source(self, store, small_fleet):
+        root, _ = store
+        materialized = load_fleet_shards(root).materialize()
+        assert isinstance(materialized, FleetTrace)
+        assert materialized.name == small_fleet.name
+        for original, loaded in zip(small_fleet, materialized):
+            np.testing.assert_array_equal(
+                loaded.usage_matrix(), original.usage_matrix()
+            )
+
+    def test_loader_front_door(self, tmp_path, small_fleet):
+        from repro.trace import load_fleet_shards as trace_load
+        from repro.trace import save_fleet_shards
+
+        root = tmp_path / "via-loader"
+        manifest = save_fleet_shards(small_fleet, root)
+        assert manifest.n_boxes == small_fleet.n_boxes
+        assert trace_load(root).n_vms == small_fleet.n_vms
+
+    def test_shard_fleet_csv(self, tmp_path, small_fleet):
+        from repro.trace import save_fleet_csv, shard_fleet_csv
+
+        csv_path = tmp_path / "fleet.csv"
+        save_fleet_csv(small_fleet, csv_path)
+        sharded = shard_fleet_csv(csv_path, tmp_path / "from-csv")
+        box = next(iter(sharded))
+        source = small_fleet.boxes[0]
+        np.testing.assert_allclose(
+            box.usage_matrix(), source.usage_matrix(), atol=1e-4
+        )
+
+
+class TestManifest:
+    def test_schema_and_counts(self, store, small_fleet):
+        root, manifest = store
+        assert manifest.schema == SHARDS_SCHEMA
+        assert manifest.n_boxes == small_fleet.n_boxes
+        assert manifest.n_vms == small_fleet.n_vms
+        assert manifest.total_bytes == sum(
+            box.usage_matrix().nbytes for box in small_fleet
+        )
+        reloaded = ShardManifest.load(root)
+        assert reloaded.boxes == manifest.boxes
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"schema": "bogus/v9", "boxes": []}')
+        with pytest.raises(ValueError, match="schema"):
+            ShardManifest.load(tmp_path)
+
+    def test_shape_mismatch_raises(self, store):
+        import dataclasses
+
+        root, manifest = store
+        meta = dataclasses.replace(manifest.boxes[0], n_windows=7)
+        with pytest.raises(ValueError, match="does not match"):
+            open_box(root, meta)
+
+    def test_verify_catches_tampering(self, store):
+        root, manifest = store
+        meta = manifest.boxes[0]
+        assert open_box(root, meta, verify=True) is not None
+        matrix = np.load(root / meta.path)
+        matrix[0, 0] += 1.0
+        np.save(root / meta.path, matrix)
+        with pytest.raises(ValueError, match="fingerprint"):
+            open_box(root, meta, verify=True)
+
+
+class TestContentAddressing:
+    def test_rewrite_is_idempotent(self, tmp_path, small_fleet):
+        root = tmp_path / "shards"
+        obs.reset_metrics()
+        write_fleet_shards(small_fleet, root)
+        first = obs.metrics_snapshot()["counters"]["shards.writes"]
+        assert first == small_fleet.n_boxes
+        write_fleet_shards(small_fleet, root)
+        again = obs.metrics_snapshot()["counters"]["shards.writes"]
+        assert again == first  # no shard rewritten
+
+    def test_identical_boxes_share_a_shard(self, tmp_path, small_fleet):
+        box = small_fleet.boxes[0]
+        a = write_box_shard(box, tmp_path)
+        b = write_box_shard(box, tmp_path)
+        assert a.fingerprint == b.fingerprint
+        assert a.path == b.path
+
+
+class TestRefs:
+    def test_ref_is_tiny_and_resolvable(self, store):
+        root, _ = store
+        sharded = ShardedFleet(root)
+        refs = sharded.box_refs()
+        payload = pickle.dumps(refs[0])
+        assert len(payload) < 2048  # descriptors, not data
+        box = refs[0].resolve()
+        assert box.box_id == refs[0].box_id
+        assert box.n_windows == refs[0].n_windows
+
+    def test_resolve_box_passthrough(self, store, small_fleet):
+        root, _ = store
+        ref = ShardedFleet(root).box_refs()[0]
+        assert resolve_box(ref).box_id == ref.box_id
+        box = small_fleet.boxes[0]
+        assert resolve_box(box) is box
+
+    def test_sharded_fleet_api(self, store, small_fleet):
+        root, _ = store
+        sharded = load_fleet_shards(root)
+        assert len(sharded) == small_fleet.n_boxes
+        assert sharded.n_series == 2 * small_fleet.n_vms
+        target = small_fleet.boxes[2].box_id
+        assert sharded.box_by_id(target).box_id == target
+        with pytest.raises(KeyError):
+            sharded.box_by_id("nope")
+        summary = sharded.summary()
+        assert summary["boxes"] == small_fleet.n_boxes
+        assert summary["mapped_bytes"] == float(sharded.manifest.total_bytes)
+
+
+class TestObservability:
+    def test_open_counts_bytes_mapped(self, store):
+        root, manifest = store
+        obs.reset_metrics()
+        open_box(root, manifest.boxes[0])
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["shards.boxes_opened"] == 1
+        assert snap["counters"]["shards.bytes_mapped"] == manifest.boxes[0].nbytes
+        assert snap["gauges"]["shards.max_box_bytes"] == manifest.boxes[0].nbytes
+
+
+class TestMaterializationGuard:
+    """Satellite: the forbid-generation guard also forbids full-fleet
+    materialization once the shard tier is active in a process."""
+
+    def test_fleettrace_raises_when_tier_active_and_guarded(
+        self, store, small_fleet, monkeypatch
+    ):
+        root, manifest = store
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        # Guard alone does not trip: in-RAM fleets stay constructible.
+        FleetTrace(boxes=[small_fleet.boxes[0]], name="ok")
+        open_box(root, manifest.boxes[0])  # activates the shard tier
+        assert model.shard_tier_active()
+        with pytest.raises(RuntimeError, match="materialization is forbidden"):
+            FleetTrace(boxes=[small_fleet.boxes[0]], name="bad")
+        with pytest.raises(RuntimeError, match="materialization is forbidden"):
+            load_fleet_shards(root).materialize()
+
+    def test_guard_off_without_env(self, store, small_fleet, monkeypatch):
+        root, _ = store
+        monkeypatch.delenv(FORBID_GENERATION_ENV_VAR, raising=False)
+        fleet = load_fleet_shards(root).materialize()
+        assert fleet.n_boxes == small_fleet.n_boxes
+
+
+class TestGenerateIntoShards:
+    def test_streamed_generation_matches_generate_fleet(self, tmp_path):
+        cfg = FleetConfig(n_boxes=3, days=1, seed=31)
+        manifest = generate_fleet_shards(cfg, tmp_path / "gen", name="synthetic")
+        reference = generate_fleet(cfg, name="synthetic")
+        sharded = load_fleet_shards(tmp_path / "gen")
+        assert manifest.n_boxes == reference.n_boxes
+        for original, view in zip(reference, sharded):
+            np.testing.assert_array_equal(
+                view.usage_matrix(), original.usage_matrix()
+            )
+
+    def test_generation_guard_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        with pytest.raises(RuntimeError, match="forbidden"):
+            generate_fleet_shards(FleetConfig(n_boxes=1, days=1, seed=1), tmp_path)

@@ -109,8 +109,9 @@ class TestMetricsJson:
 
         data = json.loads(path.read_text())
         assert data["schema"] == obs.METRICS_SCHEMA
-        assert set(data) == {"schema", "counters", "spans"}
+        assert set(data) == {"schema", "counters", "spans", "gauges"}
         assert data["counters"]["resize.boxes"] == 3
+        assert data["gauges"]["proc.peak_rss_bytes"] > 0
         for stat in data["spans"].values():
             assert set(stat) == {"count", "total_s", "max_s"}
             assert stat["count"] >= 1

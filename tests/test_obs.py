@@ -51,6 +51,41 @@ class TestSpans:
         assert obs.metrics_snapshot()["spans"]["bad"]["count"] == 1
 
 
+class TestGauges:
+    def test_gauge_max_keeps_high_water_mark(self):
+        obs.gauge_max("g", 5.0)
+        obs.gauge_max("g", 3.0)
+        obs.gauge_max("g", 7.0)
+        assert obs.metrics_snapshot()["gauges"]["g"] == 7.0
+
+    def test_disabled_is_noop(self, monkeypatch):
+        monkeypatch.setenv(obs.METRICS_ENV_VAR, "0")
+        obs.gauge_max("g", 5.0)
+        assert obs.metrics_snapshot()["gauges"] == {}
+
+    def test_merge_takes_max(self):
+        worker = obs.MetricsRegistry()
+        worker.gauge_max("peak", 100.0)
+        worker.gauge_max("worker_only", 1.0)
+        obs.gauge_max("peak", 40.0)
+        obs.merge_snapshot(worker.snapshot())
+        gauges = obs.metrics_snapshot()["gauges"]
+        assert gauges["peak"] == 100.0  # worker's high-water mark wins
+        assert gauges["worker_only"] == 1.0
+        obs.merge_snapshot({"schema": obs.METRICS_SCHEMA, "gauges": {"peak": 10.0}})
+        assert obs.metrics_snapshot()["gauges"]["peak"] == 100.0
+
+    def test_peak_rss_is_plausible(self):
+        peak = obs.peak_rss_bytes()
+        # A CPython process with numpy loaded occupies tens of MB at least;
+        # anything under 1 MB means the unit conversion is wrong.
+        assert peak > 1_000_000
+
+    def test_record_peak_rss_sets_gauge(self):
+        value = obs.record_peak_rss()
+        assert obs.metrics_snapshot()["gauges"]["proc.peak_rss_bytes"] == value
+
+
 class TestSnapshot:
     def test_schema_stamp(self):
         assert obs.metrics_snapshot()["schema"] == obs.METRICS_SCHEMA
@@ -87,7 +122,7 @@ class TestSnapshot:
         data = json.loads(path.read_text())
         assert data["schema"] == obs.METRICS_SCHEMA
         assert data["counters"]["x"] == 4
-        assert set(data) == {"schema", "counters", "spans"}
+        assert set(data) == {"schema", "counters", "spans", "gauges"}
 
 
 class TestExecutorIntegration:
