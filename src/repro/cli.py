@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the workflows an operator would actually run:
+Seven commands cover the workflows an operator would actually run:
 
 * ``characterize`` — the Section II study on a (synthetic or loaded) fleet.
 * ``predict``      — full-ATM prediction accuracy (Fig. 9 style).
 * ``resize``       — oracle resizing comparison across algorithms (Fig. 8).
+* ``online``       — the rolling day-by-day controller (incremental:
+  warm-started refits, drift-gated re-search, parallel boxes).
 * ``testbed``      — the simulated MediaWiki experiment (Figs. 12/13).
 * ``generate``     — write a synthetic fleet trace to CSV.
 * ``shard``        — build a memory-mapped shard store (synthetic or from
@@ -23,7 +25,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.benchhelpers.tables import print_table
-from repro.core import AtmConfig, run_fleet_atm
+from repro.core import AtmConfig, run_fleet_atm, run_online_fleet
 from repro.core import runtime
 from repro.prediction.registry import available_temporal_models
 from repro.prediction.spatial.signatures import ClusteringMethod
@@ -158,6 +160,51 @@ def _cmd_resize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_online(args: argparse.Namespace) -> int:
+    fleet = _fleet_from_args(args)
+    config = AtmConfig.with_clustering(
+        ClusteringMethod(args.method), temporal_model=args.temporal
+    )
+    _apply_store_args(args)
+    result = run_online_fleet(
+        fleet,
+        config,
+        refit_every_steps=args.refit_every,
+        drift_threshold=args.drift_threshold,
+        jobs=args.jobs,
+    )
+    rows = [
+        [
+            run.box_id,
+            len(run.steps),
+            run.mean_ape(),
+            run.total_tickets(static=True),
+            run.total_tickets(),
+            run.reduction_percent(),
+            len(run.degradations),
+        ]
+        for run in result.values()
+    ]
+    print_table(
+        f"Online ATM — rolling controller, refit cap {args.refit_every} "
+        f"({args.temporal} temporal model)",
+        ["box", "steps", "APE %", "static", "ATM", "reduct %", "degr"],
+        rows,
+    )
+    print_table(
+        "Online ATM — fleet summary",
+        ["metric", "value"],
+        [
+            ["boxes managed", len(result)],
+            ["tickets (static)", result.total_tickets(static=True)],
+            ["tickets (ATM)", result.total_tickets()],
+            ["reduction %", result.reduction_percent()],
+        ],
+    )
+    _print_degradations(result.report)
+    return 0
+
+
 def _cmd_testbed(args: argparse.Namespace) -> int:
     from repro.testbed.experiment import TestbedConfig, run_testbed_experiment
 
@@ -232,7 +279,7 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
     )
 
 
-def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+def _add_jobs_argument(parser: argparse.ArgumentParser, resume: bool = True) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the per-box fan-out "
@@ -249,12 +296,13 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="persistent artifact store directory (default: $REPRO_STORE; "
         "unset = in-memory caching only)",
     )
-    parser.add_argument(
-        "--resume", action="store_true",
-        help="serve boxes whose result artifacts are already materialized "
-        "in the store instead of recomputing them (requires --store or "
-        "$REPRO_STORE; aggregates are bit-identical to a fresh run)",
-    )
+    if resume:
+        parser.add_argument(
+            "--resume", action="store_true",
+            help="serve boxes whose result artifacts are already materialized "
+            "in the store instead of recomputing them (requires --store or "
+            "$REPRO_STORE; aggregates are bit-identical to a fresh run)",
+        )
 
 
 def _apply_store_args(args: argparse.Namespace) -> bool:
@@ -308,6 +356,42 @@ def build_parser() -> argparse.ArgumentParser:
     resize.add_argument("--threshold", type=float, default=60.0)
     resize.add_argument("--epsilon", type=float, default=5.0)
     resize.set_defaults(func=_cmd_resize)
+
+    online = sub.add_parser(
+        "online", help="rolling online controller (day-by-day active sizing)"
+    )
+    _add_fleet_arguments(online, days=7)
+    # Online runs warm-resume implicitly through --store (every refit's
+    # parameter state is content-addressed), so no explicit --resume flag.
+    _add_jobs_argument(online, resume=False)
+    online.add_argument(
+        "--refit-every", type=int, default=1, dest="refit_every", metavar="K",
+        help="cadence cap on the signature re-search: re-run at least "
+        "every K steps (default 1 = every step, the legacy path); with "
+        "the drift gate on, drift can pull the search forward, so a "
+        "large cap is safe",
+    )
+    online.add_argument(
+        "--drift-threshold", type=float, default=None, dest="drift_threshold",
+        metavar="X",
+        help="drift score (rise in spatial reconstruction error over the "
+        "fit-time baseline) above which the signature search re-runs "
+        "early (default 0.15; only consulted between cadence refits "
+        "while REPRO_DRIFT_GATE is on)",
+    )
+    online.add_argument(
+        "--method",
+        choices=[m.value for m in ClusteringMethod],
+        default="cbc",
+        help="signature clustering method",
+    )
+    online.add_argument(
+        "--temporal",
+        choices=list(available_temporal_models()),
+        default="neural",
+        help="temporal model for the signature series",
+    )
+    online.set_defaults(func=_cmd_online)
 
     testbed = sub.add_parser("testbed", help="simulated MediaWiki experiment")
     testbed.add_argument("--hours", type=int, default=6)

@@ -32,12 +32,38 @@ and the signature search consults :mod:`repro.store` by content address —
 so with ``REPRO_STORE`` pointing at a store populated by an offline run
 (or a previous online run), the expensive spatial search of the first
 step is served from disk instead of recomputed.
+
+Steps are *incremental* by default, restarting nothing they can reuse:
+
+* **Warm-started refits** — the controller's predictor opts into the
+  warm-refit chain (:mod:`repro.prediction.temporal.warm`): each
+  temporal refit resumes from the previous step's ``(K, P)`` parameter
+  state instead of re-training from scratch, with a validation-loss
+  guard and per-step persistence for interrupted-run resume.
+  ``REPRO_WARM_REFIT=0`` restores cold per-step fits.
+* **Drift-gated re-search** — between cadence refits the controller
+  scores workload drift as the rise of the spatial model's relative
+  reconstruction error on the advanced window over its fit-time
+  baseline; the expensive signature search re-runs early only when the
+  score exceeds ``drift_threshold``.  ``refit_every_steps`` is thereby
+  demoted to a fallback cap: set it large and let drift decide.
+  ``REPRO_DRIFT_GATE=0`` restores the pure cadence.  With the default
+  ``refit_every_steps=1`` the cap is always due, so both gates leave the
+  legacy path bit-identical.
+
+:func:`run_online_fleet` fans boxes out across worker processes exactly
+like the offline pipeline: :class:`~repro.core.executor.FleetExecutor`
+windowed streaming dispatch, :class:`~repro.store.shards.ShardedFleet`
+accepted with manifest-only eligibility and zero-pickle
+:class:`~repro.store.shards.BoxShardRef` dispatch, and one streaming
+aggregation fold shared with the serial path (bit-identical for any
+worker count).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -53,6 +79,9 @@ from repro.core.degrade import (
     ErrorReport,
     sanitize_demands,
 )
+from repro.core.executor import FleetExecutor
+from repro.core.runtime import drift_gate_enabled
+from repro.core.streaming import fleet_results
 from repro.prediction.combined import SpatialTemporalPredictor
 from repro.prediction.temporal.seasonal import phase_aligned_slot_means_batch
 from repro.resizing.evaluate import ResizingAlgorithm, resize_allocation
@@ -60,13 +89,25 @@ from repro.resizing.problem import ResizingProblem, tickets_for_allocation
 from repro.timeseries.metrics import mean_absolute_percentage_error
 from repro.trace.model import BoxTrace, FleetTrace, Resource
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.shards import ShardedFleet
+
 __all__ = [
+    "DRIFT_THRESHOLD_DEFAULT",
     "OnlineStep",
     "OnlineRunResult",
     "OnlineFleetResult",
     "OnlineAtmController",
     "run_online_fleet",
 ]
+
+#: Default drift-score threshold above which the signature search re-runs
+#: before its cadence cap.  The score is a *rise* in relative Frobenius
+#: reconstruction error over the fit-time baseline, so 0.15 means "the
+#: signature set explains 15 points less of the window's energy than it
+#: did when chosen" — far outside the step-to-step jitter of a stable
+#: workload (see ``tests/core/test_online_incremental.py``).
+DRIFT_THRESHOLD_DEFAULT = 0.15
 
 
 @dataclass(frozen=True)
@@ -140,10 +181,17 @@ class OnlineAtmController:
         ATM configuration; ``training_windows`` is the sliding-window
         length and ``horizon_windows`` the per-step resizing window.
     refit_every_steps:
-        Re-run the (expensive) signature search only every k steps;
-        intermediate steps keep the fitted spatial model but re-anchor the
-        temporal models on the advanced training window — the practical
-        deployment compromise.
+        Cadence cap on the (expensive) signature search: re-run it at
+        least every k steps.  Intermediate steps keep the fitted spatial
+        model but re-anchor the temporal models on the advanced training
+        window (warm-started when ``REPRO_WARM_REFIT`` is on) — the
+        practical deployment compromise.  With the drift gate enabled the
+        search also re-runs *early* whenever the drift score exceeds
+        ``drift_threshold``, so a large cap is safe.
+    drift_threshold:
+        Drift-score trigger of the early re-search (``None`` =
+        :data:`DRIFT_THRESHOLD_DEFAULT`).  Only consulted between cadence
+        refits and only while ``REPRO_DRIFT_GATE`` is on.
     """
 
     def __init__(
@@ -151,12 +199,18 @@ class OnlineAtmController:
         box: BoxTrace,
         config: Optional[AtmConfig] = None,
         refit_every_steps: int = 1,
+        drift_threshold: Optional[float] = None,
     ) -> None:
         if refit_every_steps < 1:
             raise ValueError("refit_every_steps must be >= 1")
+        if drift_threshold is not None and drift_threshold < 0:
+            raise ValueError("drift_threshold must be >= 0")
         self.box = box
         self.config = config or AtmConfig()
         self.refit_every_steps = refit_every_steps
+        self.drift_threshold = (
+            DRIFT_THRESHOLD_DEFAULT if drift_threshold is None else float(drift_threshold)
+        )
         self._predictor: Optional[SpatialTemporalPredictor] = None
         self._fitted_at_step = -10**9
         self._anchored_at_step = -10**9
@@ -183,18 +237,51 @@ class OnlineAtmController:
         faults.inject_slow(self.box.box_id)
         return train
 
+    def _search_due(self, step: int, train: np.ndarray) -> bool:
+        """Whether this step re-runs the signature search.
+
+        Due when no predictor exists or the cadence cap expired; between
+        cap refits, the drift gate may pull the search forward: the spatial
+        model's relative reconstruction error on the advanced window is
+        compared against its fit-time baseline, and a rise beyond
+        ``drift_threshold`` means the signature set no longer explains the
+        workload — re-search now rather than ride out the cap.
+        """
+        if (
+            self._predictor is None
+            or step - self._fitted_at_step >= self.refit_every_steps
+        ):
+            if self._predictor is not None:
+                obs.inc("online.refit.cap")
+            return True
+        if not drift_gate_enabled():
+            return False
+        with obs.span("online.drift_check"):
+            drift = (
+                self._predictor.reconstruction_error(train)
+                - self._predictor.baseline_reconstruction_error
+            )
+        obs.gauge_max("online.drift_score", drift)
+        if drift > self.drift_threshold:
+            obs.inc("online.refit.drift")
+            return True
+        obs.inc("online.drift_skips")
+        return False
+
     # ------------------------------------------------------- ladder rung 1
     def _primary_prediction(self, step: int) -> np.ndarray:
         """Fit/advance the configured predictor and forecast the step."""
         cfg = self.config
         train = self._training_slice(step)
         faults.inject_fault("fit_error", self.box.box_id)
-        if (
-            self._predictor is None
-            or step - self._fitted_at_step >= self.refit_every_steps
-        ):
+        if self._search_due(step, train):
             with obs.span("online.fit"):
-                predictor = SpatialTemporalPredictor(cfg.prediction).fit(train)
+                # warm_refits: subsequent refit_temporal calls on this
+                # predictor chain through the warm-started kernel (the
+                # initial fit below is cold — fresh signature set).
+                predictor = SpatialTemporalPredictor(
+                    cfg.prediction, warm_refits=True
+                ).fit(train)
             self._predictor = predictor
             self._fitted_at_step = step
             self._anchored_at_step = step
@@ -393,50 +480,126 @@ class OnlineFleetResult(Mapping[str, OnlineRunResult]):
             f"{len(self.report.events)} degradation events)"
         )
 
+    def total_tickets(self, static: bool = False) -> int:
+        """Fleet-wide ticket total across every completed box's steps."""
+        return sum(r.total_tickets(static=static) for r in self.results.values())
+
+    def reduction_percent(self) -> float:
+        """Fleet-wide ticket reduction of ATM over the static allocation."""
+        before = self.total_tickets(static=True)
+        if before == 0:
+            return float("nan")
+        return 100.0 * (before - self.total_tickets()) / before
+
+
+def _run_box_online(
+    box,
+    config: AtmConfig,
+    refit_every_steps: int,
+    drift_threshold: Optional[float],
+    degrade: bool,
+) -> Tuple[Optional[OnlineRunResult], List[DegradationEvent]]:
+    """Per-box unit of work; module-level so pool workers can unpickle it.
+
+    ``box`` may be a :class:`repro.store.shards.BoxShardRef`, in which
+    case the shard is memory-mapped here in the worker — the parent never
+    pickles trace data.  Failures outside the controller's own ladder
+    yield ``(None, [failed event])`` under ``degrade`` instead of
+    aborting the fleet.
+    """
+    from repro.store.shards import resolve_box
+
+    obs.inc("online.boxes")
+    try:
+        faults.inject_fault("box_error", box.box_id)
+        controller = OnlineAtmController(
+            resolve_box(box),
+            config,
+            refit_every_steps=refit_every_steps,
+            drift_threshold=drift_threshold,
+        )
+        result = controller.run()
+    except Exception as exc:
+        if not degrade:
+            raise
+        obs.inc("online.boxes_failed")
+        event = DegradationEvent(
+            box_id=box.box_id, stage="run", rung=RUNG_FAILED, reason=repr(exc)
+        )
+        return None, [event]
+    return result, list(result.degradations)
+
 
 def run_online_fleet(
-    fleet: FleetTrace,
+    fleet: Union[FleetTrace, "ShardedFleet"],
     config: Optional[AtmConfig] = None,
     refit_every_steps: int = 1,
     degrade: bool = True,
+    drift_threshold: Optional[float] = None,
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    retries: int = 0,
 ) -> OnlineFleetResult:
     """Run the rolling controller on every box long enough to support it.
 
     Per-box failures outside the fit/predict ladder do not abort the
     fleet: the box is recorded in ``result.report`` (rung ``"failed"``)
-    and the remaining boxes run to completion.  Pass ``degrade=False`` to
-    restore fail-fast propagation of the first per-box exception.
+    and the remaining boxes run to completion.  A fleet with *no* eligible
+    box likewise degrades to an empty result with one fleet-level
+    ``"failed"`` event rather than raising.  Pass ``degrade=False`` to
+    restore fail-fast propagation (including the no-eligible-box
+    ``ValueError``).
+
+    ``fleet`` may be an in-RAM :class:`FleetTrace` or a
+    :class:`repro.store.shards.ShardedFleet`; for the latter, eligibility
+    is read from the manifest and workers receive shard descriptors they
+    memory-map locally.  ``jobs`` fans boxes out across worker processes
+    (``None`` reads ``REPRO_JOBS``; 1 = serial, the bit-identical legacy
+    path); results aggregate in fleet box order for any worker count.
+    ``chunksize`` and ``retries`` forward to the executor.
     """
     cfg = config or AtmConfig()
     needed = cfg.training_windows + cfg.horizon_windows
-    eligible = [box for box in fleet if box.n_windows >= needed]
-    if not eligible:
-        raise ValueError(f"no box in fleet {fleet.name!r} supports an online run")
+    if hasattr(fleet, "box_refs"):
+        # Sharded fleet: eligibility comes from the manifest; no shard is
+        # opened in the parent, and workers receive the refs themselves.
+        eligible = [ref for ref in fleet.box_refs() if ref.n_windows >= needed]
+    else:
+        eligible = [box for box in fleet if box.n_windows >= needed]
 
     results: Dict[str, OnlineRunResult] = {}
     report = ErrorReport()
+    if not eligible:
+        reason = f"no box in fleet {fleet.name!r} supports an online run"
+        if not degrade:
+            raise ValueError(reason)
+        obs.inc("online.fleets_empty")
+        report.add(
+            DegradationEvent(
+                box_id=f"fleet:{fleet.name}",
+                stage="fleet",
+                rung=RUNG_FAILED,
+                reason=reason,
+            )
+        )
+        return OnlineFleetResult(results=results, report=report)
+
+    executor = FleetExecutor(jobs=jobs, chunksize=chunksize, retries=retries)
     with obs.span("online.fleet"):
-        for box in eligible:
-            obs.inc("online.boxes")
-            try:
-                faults.inject_fault("box_error", box.box_id)
-                controller = OnlineAtmController(
-                    box, cfg, refit_every_steps=refit_every_steps
-                )
-                result = controller.run()
-            except Exception as exc:
-                if not degrade:
-                    raise
-                obs.inc("online.boxes_failed")
-                report.add(
-                    DegradationEvent(
-                        box_id=box.box_id,
-                        stage="run",
-                        rung=RUNG_FAILED,
-                        reason=repr(exc),
-                    )
-                )
+        # One fold for both the streaming and the materialized path: only
+        # the iterator differs (see repro.core.streaming), so the two are
+        # bit-identical by construction.
+        for result, events in fleet_results(
+            executor,
+            _run_box_online,
+            eligible,
+            cfg,
+            refit_every_steps,
+            drift_threshold,
+            degrade,
+        ):
+            report.extend(events)
+            if result is None:
                 continue
-            results[box.box_id] = result
-            report.extend(result.degradations)
+            results[result.box_id] = result
     return OnlineFleetResult(results=results, report=report)

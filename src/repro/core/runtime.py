@@ -28,6 +28,13 @@ Variable                    Default    Meaning
                                        aggregation (``0`` restores the
                                        full-result-list path for bit-identical
                                        verification).
+``REPRO_WARM_REFIT``        on         Warm-started temporal refits in the
+                                       online controller (``0`` forces cold
+                                       per-step fits, the bit-identical
+                                       legacy path).
+``REPRO_DRIFT_GATE``        on         Drift-gated signature re-search in the
+                                       online controller (``0`` restores the
+                                       fixed ``refit_every_steps`` cadence).
 ==========================  =========  =========================================
 
 Boolean gates share one falsy set: ``0``, ``false``, ``off``, ``no``
@@ -44,6 +51,7 @@ from typing import Optional
 
 __all__ = [
     "BATCHED_ENV_VAR",
+    "DRIFT_GATE_ENV_VAR",
     "FAULTS_ENV_VAR",
     "FAULTS_SEED_ENV_VAR",
     "JOBS_ENV_VAR",
@@ -52,8 +60,10 @@ __all__ = [
     "STORE_ENV_VAR",
     "STREAM_AGG_ENV_VAR",
     "VECTOR_ENV_VAR",
+    "WARM_REFIT_ENV_VAR",
     "RuntimeSettings",
     "batched_temporal_enabled",
+    "drift_gate_enabled",
     "env_jobs",
     "faults_seed",
     "faults_spec",
@@ -63,6 +73,7 @@ __all__ = [
     "store_dir",
     "stream_agg_enabled",
     "vector_spatial_enabled",
+    "warm_refit_enabled",
 ]
 
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -74,6 +85,8 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
 STORE_ENV_VAR = "REPRO_STORE"
 STREAM_AGG_ENV_VAR = "REPRO_STREAM_AGG"
+WARM_REFIT_ENV_VAR = "REPRO_WARM_REFIT"
+DRIFT_GATE_ENV_VAR = "REPRO_DRIFT_GATE"
 
 #: The one spelling of "disabled" every boolean gate accepts.
 _FALSY = frozenset({"0", "false", "off", "no"})
@@ -143,6 +156,17 @@ def stream_agg_enabled() -> bool:
     return _flag(STREAM_AGG_ENV_VAR)
 
 
+def warm_refit_enabled() -> bool:
+    """Whether online temporal refits warm-start from stored parameters
+    (default on)."""
+    return _flag(WARM_REFIT_ENV_VAR)
+
+
+def drift_gate_enabled() -> bool:
+    """Whether the online signature re-search is drift-gated (default on)."""
+    return _flag(DRIFT_GATE_ENV_VAR)
+
+
 @dataclass(frozen=True)
 class RuntimeSettings:
     """One validated snapshot of every runtime gate."""
@@ -156,6 +180,8 @@ class RuntimeSettings:
     faults_seed: int
     store_dir: Optional[str]
     stream_agg: bool
+    warm_refit: bool
+    drift_gate: bool
 
 
 def settings() -> RuntimeSettings:
@@ -175,4 +201,6 @@ def settings() -> RuntimeSettings:
         faults_seed=faults_seed(),
         store_dir=store_dir(),
         stream_agg=stream_agg_enabled(),
+        warm_refit=warm_refit_enabled(),
+        drift_gate=drift_gate_enabled(),
     )

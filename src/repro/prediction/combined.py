@@ -25,8 +25,14 @@ import numpy as np
 
 from repro import obs
 from repro.prediction.base import TemporalPredictor
-from repro.prediction.registry import fit_temporal_batch, make_temporal_model
+from repro.prediction.registry import (
+    fit_temporal_batch,
+    fit_temporal_batch_warm,
+    has_warm_fitter,
+    make_temporal_model,
+)
 from repro.prediction.temporal.batched import batched_temporal_enabled
+from repro.prediction.temporal.warm import warm_refit_enabled
 from repro.prediction.spatial.signatures import (
     SignatureSearchConfig,
     SpatialModel,
@@ -86,11 +92,24 @@ class BoxPrediction:
 class SpatialTemporalPredictor:
     """ATM prediction for one box's ``(n_series, T)`` demand matrix."""
 
-    def __init__(self, config: Optional[SpatialTemporalConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SpatialTemporalConfig] = None,
+        warm_refits: bool = False,
+    ) -> None:
+        """``warm_refits=True`` opts refits into the warm-started chain.
+
+        Off by default so one-shot (offline) fits stay byte-identical to
+        the historical path; the online controller opts in, and
+        ``REPRO_WARM_REFIT=0`` overrides the opt-in globally.
+        """
         self.config = config or SpatialTemporalConfig()
+        self.warm_refits = bool(warm_refits)
         self._spatial: Optional[SpatialModel] = None
         self._temporal: Dict[int, TemporalPredictor] = {}
         self._train: Optional[np.ndarray] = None
+        self._warm_state: Optional[object] = None
+        self._baseline_recon_error: Optional[float] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -140,9 +159,35 @@ class SpatialTemporalPredictor:
         self, spatial: SpatialModel, arr: np.ndarray
     ) -> "SpatialTemporalPredictor":
         self._spatial = spatial
+        self._warm_state = None  # a new spatial model resets the refit chain
         self._temporal = self._fit_temporal(arr)
         self._train = arr
+        self._baseline_recon_error = self.reconstruction_error(arr)
         return self
+
+    def reconstruction_error(self, matrix: Sequence[Sequence[float]]) -> float:
+        """Relative Frobenius error of the spatial in-sample reconstruction.
+
+        ``||M - fitted(M)||_F / ||M||_F`` for a ``(n_series, T)`` matrix —
+        how well the *current* signature set still explains ``matrix``.
+        The value at fit time is kept as ``baseline_reconstruction_error``;
+        the drift-gated online controller re-searches when the error on an
+        advanced window rises materially above that baseline.
+        """
+        if self._spatial is None:
+            raise RuntimeError("predictor has not been fitted")
+        arr = np.asarray(matrix, dtype=float)
+        denom = float(np.linalg.norm(arr))
+        if denom <= 0.0:
+            return 0.0
+        return float(np.linalg.norm(arr - self._spatial.fitted(arr)) / denom)
+
+    @property
+    def baseline_reconstruction_error(self) -> float:
+        """Reconstruction error of the training window the spatial model was fit on."""
+        if self._baseline_recon_error is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._baseline_recon_error
 
     def _fit_temporal(self, arr: np.ndarray) -> Dict[int, TemporalPredictor]:
         """Fit one temporal model per signature series of ``arr``."""
@@ -150,7 +195,24 @@ class SpatialTemporalPredictor:
         indices = list(self._spatial.signature_indices)
         with obs.span("predict.temporal_fit"):
             fitted = None
-            if indices and batched_temporal_enabled():
+            if (
+                indices
+                and batched_temporal_enabled()
+                and self.warm_refits
+                and warm_refit_enabled()
+                and has_warm_fitter(self.config.temporal_model)
+            ):
+                # Warm-started chain: resume from the previous refit's
+                # parameter state and keep the new one for the next.
+                warm_result = fit_temporal_batch_warm(
+                    self.config.temporal_model,
+                    [arr[idx] for idx in indices],
+                    period=self.config.period,
+                    warm=self._warm_state,
+                )
+                if warm_result is not None:
+                    fitted, self._warm_state = warm_result
+            if fitted is None and indices and batched_temporal_enabled():
                 # One vectorized pass over all signature series of the box
                 # (REPRO_BATCHED_TEMPORAL=0 forces the per-series loop below).
                 fitted = fit_temporal_batch(

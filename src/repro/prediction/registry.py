@@ -28,12 +28,15 @@ from repro.prediction.temporal import (
     SeasonalMeanPredictor,
     SeasonalNaivePredictor,
     fit_neural_batch,
+    fit_neural_batch_warm,
 )
 
 __all__ = [
     "available_temporal_models",
     "fit_temporal_batch",
+    "fit_temporal_batch_warm",
     "has_batch_fitter",
+    "has_warm_fitter",
     "make_temporal_model",
     "temporal_model_version",
 ]
@@ -118,3 +121,37 @@ def fit_temporal_batch(
     if fitter is None:
         return None
     return fitter(list(histories), period)
+
+
+# Warm-capable batch fitters: like _BATCH_FITTERS but chaining a
+# fit-to-fit state (see repro.prediction.temporal.warm).  The state type
+# is fitter-specific and opaque to callers: hold it, pass it back.
+_WARM_FITTERS: Dict[str, Callable[..., Tuple[List[TemporalPredictor], object]]] = {
+    "neural": lambda histories, period, warm: fit_neural_batch_warm(
+        histories, MlpConfig(period=period), warm=warm
+    ),
+}
+
+
+def has_warm_fitter(name: str) -> bool:
+    """Whether :func:`fit_temporal_batch_warm` supports this model name."""
+    return name in _WARM_FITTERS
+
+
+def fit_temporal_batch_warm(
+    name: str,
+    histories: Sequence[np.ndarray],
+    period: int = 96,
+    warm: Optional[object] = None,
+) -> Optional[Tuple[List[TemporalPredictor], Optional[object]]]:
+    """Warm-started batched fit: resume from ``warm``, return the new state.
+
+    Returns ``None`` when the model has no warm-capable fitter — callers
+    fall back to :func:`fit_temporal_batch` or per-series loops.  An
+    incompatible ``warm`` (changed signature count, different model) is
+    ignored by the fitter, which then fits cold and returns a fresh state.
+    """
+    fitter = _WARM_FITTERS.get(name)
+    if fitter is None:
+        return None
+    return fitter(list(histories), period, warm)

@@ -19,11 +19,15 @@ implements that spectrum from scratch:
   (``REPRO_BATCHED_TEMPORAL=0`` falls back to per-series fits).
 * :mod:`repro.prediction.temporal.seasonal` — the shared vectorized
   slot-mean / seasonal-lag feature pipeline.
+* :mod:`repro.prediction.temporal.warm` — warm-started refits chaining
+  batched fits through persisted ``(K, P)`` parameter states
+  (``REPRO_WARM_REFIT=0`` keeps refits cold).
 """
 
 from repro.prediction.temporal.ar import AutoRegressivePredictor
 from repro.prediction.temporal.batched import (
     BATCHED_ENV_VAR,
+    BatchFitState,
     batched_temporal_enabled,
     fit_neural_batch,
 )
@@ -36,10 +40,17 @@ from repro.prediction.temporal.naive import (
     SeasonalNaivePredictor,
 )
 from repro.prediction.temporal.neural import MlpConfig, NeuralNetPredictor
+from repro.prediction.temporal.warm import (
+    WARM_REFIT_ENV_VAR,
+    fit_neural_batch_warm,
+    warm_refit_enabled,
+)
 
 __all__ = [
     "BATCHED_ENV_VAR",
+    "WARM_REFIT_ENV_VAR",
     "ArimaPredictor",
+    "BatchFitState",
     "AutoRegressivePredictor",
     "HoltWintersPredictor",
     "LastValuePredictor",
@@ -50,4 +61,6 @@ __all__ = [
     "SeasonalNaivePredictor",
     "batched_temporal_enabled",
     "fit_neural_batch",
+    "fit_neural_batch_warm",
+    "warm_refit_enabled",
 ]

@@ -40,7 +40,8 @@ the batch axis vectorizes within a box.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +52,14 @@ from repro.prediction.temporal.seasonal import (
     seasonal_feature_matrix_batch,
 )
 
-__all__ = ["BATCHED_ENV_VAR", "batched_temporal_enabled", "fit_neural_batch"]
+__all__ = [
+    "BATCHED_ENV_VAR",
+    "BatchFitState",
+    "batched_temporal_enabled",
+    "fit_equal_length_state",
+    "fit_neural_batch",
+    "models_from_params",
+]
 
 #: Environment variable gating the batched kernel (default: enabled;
 #: parsed by :mod:`repro.core.runtime`).
@@ -254,9 +262,49 @@ class _BatchedMlp:
         return _Mlp.from_params(weights, biases)
 
 
-def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredictor]:
-    """Train the K models of one equal-length batch; mirrors serial ``fit``."""
-    n_models, size = matrix.shape
+@dataclass
+class BatchFitState:
+    """Best-validation outcome of one equal-length batched fit.
+
+    ``params`` is the flat ``(K, P)`` best-snapshot buffer in history input
+    order, ``best_val`` the per-model best validation loss reached and
+    ``epochs`` the per-model epoch count of that fit.  The buffer is a valid
+    warm initializer for a refit of the same K-model topology (see
+    :mod:`repro.prediction.temporal.warm`), and together with the training
+    matrix it fully determines the fitted predictors — serving it back
+    through :func:`models_from_params` reproduces them without training.
+    """
+
+    params: np.ndarray
+    best_val: np.ndarray
+    epochs: np.ndarray
+
+
+class _Prepared(NamedTuple):
+    """Deterministic pre-training state shared by fit and resume paths."""
+
+    depth: int
+    slot_means: np.ndarray
+    x_mean: np.ndarray
+    x_std: np.ndarray
+    y_mean: np.ndarray
+    y_std: np.ndarray
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    sizes: List[int]
+    rng: np.random.Generator
+
+
+def _prepare_batch(matrix: np.ndarray, cfg: MlpConfig) -> _Prepared:
+    """Features, normalization stats and the split — everything before SGD.
+
+    Pure function of ``(matrix, cfg)``: the rng is seeded from the config
+    and has consumed exactly one permutation draw (the validation split) on
+    return, so continuing fits and store-served resumes agree bit for bit.
+    """
+    _, size = matrix.shape
     period = cfg.period
     depth = min(cfg.seasonal_depth, max(1, size // period - 1))
     slot_means = phase_aligned_slot_means_batch(matrix, period)
@@ -290,13 +338,113 @@ def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredi
     val_idx, train_idx = order[:n_val], order[n_val:]
     if train_idx.size == 0:
         train_idx = val_idx
-    x_train, y_train = x[:, train_idx], y[:, train_idx]
-    x_val, y_val = x[:, val_idx], y[:, val_idx]
-
     sizes = [x.shape[2], *cfg.hidden_layers, 1]
-    net = _BatchedMlp(n_models, sizes, rng)
+    return _Prepared(
+        depth=depth,
+        slot_means=slot_means,
+        x_mean=x_mean,
+        x_std=x_std,
+        y_mean=y_mean,
+        y_std=y_std,
+        x_train=x[:, train_idx],
+        y_train=y[:, train_idx],
+        x_val=x[:, val_idx],
+        y_val=y[:, val_idx],
+        sizes=sizes,
+        rng=rng,
+    )
+
+
+def _flat_val_losses(net: _BatchedMlp, x_val: np.ndarray, y_val: np.ndarray) -> np.ndarray:
+    """Per-model validation MSE as flat 1-D reductions (see y_mean note)."""
+    squared = (net.predict(x_val) - y_val) ** 2
+    return np.array([float(row.mean()) for row in squared.reshape(net.n_models, -1)])
+
+
+def _models_from_batch(
+    matrix: np.ndarray,
+    cfg: MlpConfig,
+    prepared: _Prepared,
+    net: _BatchedMlp,
+    best_state: np.ndarray,
+    epochs_run: np.ndarray,
+) -> List[NeuralNetPredictor]:
+    return [
+        NeuralNetPredictor._from_batch_state(
+            config=cfg,
+            history=matrix[index].copy(),
+            net=net.extract_model(best_state, index),
+            depth=prepared.depth,
+            slot_mean_vec=prepared.slot_means[index].copy(),
+            x_mean=prepared.x_mean[index].copy(),
+            x_std=prepared.x_std[index].copy(),
+            y_mean=float(prepared.y_mean[index]),
+            y_std=float(prepared.y_std[index]),
+            fit_epochs=int(epochs_run[index]),
+        )
+        for index in range(matrix.shape[0])
+    ]
+
+
+def models_from_params(
+    matrix: np.ndarray, cfg: MlpConfig, state: BatchFitState
+) -> List[NeuralNetPredictor]:
+    """Reconstruct the fitted predictors of a batch from its saved state.
+
+    Zero training: the normalization stats are recomputed (they are a pure
+    function of the data) and the saved ``(K, P)`` buffer is decoded into
+    per-model networks.  Used by the warm-resume path to serve a
+    store-persisted refit without replaying it.
+    """
+    prepared = _prepare_batch(matrix, cfg)
+    net = _BatchedMlp(matrix.shape[0], prepared.sizes, prepared.rng)
+    return _models_from_batch(matrix, cfg, prepared, net, state.params, state.epochs)
+
+
+def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredictor]:
+    """Train the K models of one equal-length batch; mirrors serial ``fit``."""
+    return fit_equal_length_state(matrix, cfg)[0]
+
+
+def fit_equal_length_state(
+    matrix: np.ndarray,
+    cfg: MlpConfig,
+    init_params: Optional[np.ndarray] = None,
+    patience: Optional[int] = None,
+) -> Tuple[List[NeuralNetPredictor], BatchFitState]:
+    """Train one equal-length batch, optionally warm-started.
+
+    Without ``init_params`` this is exactly the cold kernel (serial-fit
+    bit-identity preserved).  With a ``(K, P)`` buffer, training resumes
+    from those weights: the buffer overwrites the He init *after* the init
+    draw (keeping the rng stream aligned with a cold fit), and the warm
+    parameters' own validation loss seeds the early-stopping baseline, so
+    the fit can never return weights worse on validation than its starting
+    point.  ``patience`` overrides ``cfg.patience`` — warm refits pass a
+    short fine-tune patience, since the initializer is already near the
+    advanced window's optimum and a full cold-schedule patience mostly
+    chases sub-1e-6 validation wiggles.
+    """
+    n_models = matrix.shape[0]
+    prepared = _prepare_batch(matrix, cfg)
+    x_train, y_train = prepared.x_train, prepared.y_train
+    x_val, y_val = prepared.x_val, prepared.y_val
+    rng = prepared.rng
+
+    net = _BatchedMlp(n_models, prepared.sizes, rng)
+    if init_params is not None:
+        if init_params.shape != net.params.shape:
+            raise ValueError(
+                f"warm-start buffer shape {init_params.shape} does not match "
+                f"batch parameter shape {net.params.shape}"
+            )
+        net.params[:] = init_params
     best_state = net.snapshot()  # indexed by original model position
-    best_val = np.full(n_models, np.inf)
+    if init_params is not None:
+        best_val = _flat_val_losses(net, x_val, y_val)
+    else:
+        best_val = np.full(n_models, np.inf)
+    effective_patience = cfg.patience if patience is None else patience
     stale = np.zeros(n_models, dtype=int)
     epochs_run = np.zeros(n_models, dtype=int)
     # Models still training, as original positions into the (shrinking) stack.
@@ -322,7 +470,7 @@ def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredi
             best_val[live[improved]] = val_loss[improved]
             stale[live[improved]] = 0
         stale[live[~improved]] += 1
-        frozen = stale[live] >= cfg.patience
+        frozen = stale[live] >= effective_patience
         if frozen.any():
             # Converged models leave the tensor stack — the batch narrows to
             # exactly the work the serial path would still be doing.
@@ -332,18 +480,6 @@ def _fit_equal_length(matrix: np.ndarray, cfg: MlpConfig) -> List[NeuralNetPredi
             x_train, y_train = x_train[keep], y_train[keep]
             x_val, y_val = x_val[keep], y_val[keep]
 
-    return [
-        NeuralNetPredictor._from_batch_state(
-            config=cfg,
-            history=matrix[index].copy(),
-            net=net.extract_model(best_state, index),
-            depth=depth,
-            slot_mean_vec=slot_means[index].copy(),
-            x_mean=x_mean[index].copy(),
-            x_std=x_std[index].copy(),
-            y_mean=float(y_mean[index]),
-            y_std=float(y_std[index]),
-            fit_epochs=int(epochs_run[index]),
-        )
-        for index in range(n_models)
-    ]
+    models = _models_from_batch(matrix, cfg, prepared, net, best_state, epochs_run)
+    state = BatchFitState(params=best_state, best_val=best_val, epochs=epochs_run)
+    return models, state

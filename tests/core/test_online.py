@@ -176,7 +176,18 @@ class TestFleetRunner:
             assert results[box_id] is result
         assert results.report.ok  # healthy run -> empty report
 
-    def test_no_eligible_boxes_rejected(self, config):
+    def test_no_eligible_boxes_degrades_to_empty_result(self, config):
+        fleet = generate_fleet(FleetConfig(n_boxes=2, days=1, seed=3))
+        result = run_online_fleet(fleet, config)
+        assert len(result) == 0
+        assert not result.report.ok
+        (event,) = result.report.events
+        assert event.rung == "failed"
+        assert event.stage == "fleet"
+        assert "supports an online run" in event.reason
+        assert np.isnan(result.reduction_percent())
+
+    def test_no_eligible_boxes_rejected_when_fail_fast(self, config):
         fleet = generate_fleet(FleetConfig(n_boxes=2, days=1, seed=3))
         with pytest.raises(ValueError):
-            run_online_fleet(fleet, config)
+            run_online_fleet(fleet, config, degrade=False)

@@ -19,6 +19,8 @@ def _clean_env(monkeypatch):
         runtime.FAULTS_ENV_VAR,
         runtime.FAULTS_SEED_ENV_VAR,
         runtime.STORE_ENV_VAR,
+        runtime.WARM_REFIT_ENV_VAR,
+        runtime.DRIFT_GATE_ENV_VAR,
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -39,6 +41,14 @@ class TestFlags:
         assert runtime.batched_temporal_enabled()
         assert runtime.signature_cache_enabled()
         assert runtime.metrics_enabled()
+        assert runtime.warm_refit_enabled()
+        assert runtime.drift_gate_enabled()
+
+    def test_online_gates_disable(self, monkeypatch):
+        monkeypatch.setenv(runtime.WARM_REFIT_ENV_VAR, "0")
+        monkeypatch.setenv(runtime.DRIFT_GATE_ENV_VAR, "off")
+        assert not runtime.warm_refit_enabled()
+        assert not runtime.drift_gate_enabled()
 
     def test_gates_parse_independently(self, monkeypatch):
         # A broken jobs value must not take down unrelated gates.
@@ -84,11 +94,13 @@ class TestSettings:
         monkeypatch.setenv(runtime.BATCHED_ENV_VAR, "0")
         monkeypatch.setenv(runtime.FAULTS_ENV_VAR, "slow:p=1.0")
         monkeypatch.setenv(runtime.STORE_ENV_VAR, "/tmp/s")
+        monkeypatch.setenv(runtime.WARM_REFIT_ENV_VAR, "0")
         s = runtime.settings()
         assert s.jobs == 2
         assert s.vector_spatial and not s.batched_temporal
         assert s.faults_spec == "slow:p=1.0" and s.faults_seed == 0
         assert s.store_dir == "/tmp/s"
+        assert not s.warm_refit and s.drift_gate
 
 
 class TestLegacyConstantsAgree:
