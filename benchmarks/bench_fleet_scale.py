@@ -50,6 +50,7 @@ def _run_one_scale(n_boxes: int, jobs, seed: int = 20160628) -> dict:
     """Child body: shard-generate, run predict+resize, report measurements."""
     from repro import obs
     from repro.core import AtmConfig, run_fleet_atm
+    from repro.core.executor import resolve_jobs
     from repro.prediction.spatial.signatures import ClusteringMethod
     from repro.store.shards import ShardedFleet, generate_fleet_shards
     from repro.trace.generator import FleetConfig
@@ -59,7 +60,7 @@ def _run_one_scale(n_boxes: int, jobs, seed: int = 20160628) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-scale-") as tmp:
         t0 = time.perf_counter()
         manifest = generate_fleet_shards(
-            FleetConfig(n_boxes=n_boxes, days=DAYS, seed=seed), tmp
+            FleetConfig(n_boxes=n_boxes, days=DAYS, seed=seed), tmp, jobs=jobs
         )
         shard_s = time.perf_counter() - t0
 
@@ -78,8 +79,10 @@ def _run_one_scale(n_boxes: int, jobs, seed: int = 20160628) -> dict:
             "boxes": n_boxes,
             "vms": manifest.n_vms,
             "store_bytes": manifest.total_bytes,
+            "jobs": resolve_jobs(jobs),
             "shard_s": round(shard_s, 3),
             "run_s": round(run_s, 3),
+            "boxes_per_s": round(n_boxes / max(1e-9, run_s), 2),
             "boxes_evaluated": len(result.accuracies),
             "reductions": len(result.reduction.results),
             # Max across this process and every pool worker (merged gauges).
@@ -110,8 +113,14 @@ def _spawn_scale(n_boxes: int, jobs) -> dict:
             pass
 
 
-def sweep(scales, jobs=None) -> dict:
-    """Run every scale in subprocess isolation and assemble the report."""
+def sweep(scales, jobs=None, parallel_jobs=2) -> dict:
+    """Run every scale in subprocess isolation and assemble the report.
+
+    ``parallel_jobs`` adds one extra row re-running the smallest scale at
+    that worker count (skipped when it matches the sweep's own ``jobs``),
+    so the report always carries a jobs>1 throughput data point; the
+    sublinearity ratios are computed over the same-``jobs`` rows only.
+    """
     rows = [_spawn_scale(n, jobs) for n in scales]
     report = {
         "schema": BENCH_SCHEMA,
@@ -125,6 +134,8 @@ def sweep(scales, jobs=None) -> dict:
         report["size_ratio"] = round(size_ratio, 2)
         report["rss_ratio"] = round(rss_ratio, 3)
         report["sublinear"] = rss_ratio < min(MAX_RSS_GROWTH, size_ratio)
+    if parallel_jobs and parallel_jobs > 1 and parallel_jobs != report["jobs"]:
+        report["scales"].append(_spawn_scale(scales[0], parallel_jobs))
     return report
 
 
@@ -133,13 +144,16 @@ def _print_report(report: dict) -> None:
 
     print_table(
         f"Fleet-scale sweep — predict+resize over shard stores (jobs={report['jobs']})",
-        ["boxes", "VMs", "shard s", "run s", "peak RSS MB", "mapped MB"],
+        ["boxes", "VMs", "jobs", "shard s", "run s", "boxes/s", "peak RSS MB",
+         "mapped MB"],
         [
             [
                 row["boxes"],
                 row["vms"],
+                row.get("jobs", report["jobs"]),
                 row["shard_s"],
                 row["run_s"],
+                row.get("boxes_per_s", ""),
                 round(row["peak_rss_bytes"] / 1e6, 1),
                 round(row["bytes_mapped"] / 1e6, 1),
             ]

@@ -253,9 +253,10 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         manifest = shard_fleet_csv(args.input, args.output).manifest
     else:
         # Streaming: boxes are generated and written one at a time, so the
-        # store can exceed RAM even at build time.
+        # store can exceed RAM even at build time.  --jobs fans generation
+        # across processes; the resulting store is byte-identical.
         config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
-        manifest = generate_fleet_shards(config, args.output)
+        manifest = generate_fleet_shards(config, args.output, jobs=args.jobs)
     print(
         f"wrote shard store {args.output}: {manifest.n_boxes} boxes, "
         f"{manifest.n_vms} VMs, {manifest.total_bytes / 1e6:.1f} MB"
@@ -415,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--input", type=str, default=None,
         help="convert this fleet CSV instead of generating synthetically",
+    )
+    shard.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for synthetic generation (default: $REPRO_JOBS "
+        "or 1 = serial; 0 = all cores); the store is byte-identical at any "
+        "worker count",
     )
     shard.set_defaults(func=_cmd_shard)
 

@@ -128,8 +128,44 @@ def _run_item(fn: Callable[..., R], item: Any, common: tuple, retries: int) -> R
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _run_chunk_items(
+    chunk_fn: Callable[..., Sequence[R]],
+    items: Sequence[Any],
+    common: tuple,
+    retries: int,
+) -> List[R]:
+    """Apply a whole-chunk function once, retrying the chunk on exception.
+
+    ``chunk_fn`` sees all items of the chunk together (the fused training
+    plane gathers cross-box mega-batches this way) and must return one
+    result per item, in input order.  Retries are chunk-granular: a
+    raising chunk re-runs every item of the chunk under the next attempt
+    number, so transient (``once``) injected faults still clear.
+    """
+    for attempt in range(retries + 1):
+        try:
+            with faults.attempt_context(attempt):
+                results = list(chunk_fn(items, *common))
+        except Exception:
+            if attempt == retries:
+                raise
+            obs.inc("executor.retries")
+            continue
+        if len(results) != len(items):
+            raise RuntimeError(
+                f"chunk function returned {len(results)} results for "
+                f"{len(items)} items"
+            )
+        return results
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _run_chunk(
-    fn: Callable[..., R], items: Sequence[Any], common: tuple, retries: int
+    fn: Callable[..., R],
+    items: Sequence[Any],
+    common: tuple,
+    retries: int,
+    chunk_fn: Optional[Callable[..., Sequence[R]]] = None,
 ) -> Tuple[List[R], dict]:
     """Worker entry point: one chunk, in order, plus the worker's metrics.
 
@@ -138,7 +174,10 @@ def _run_chunk(
     so the returned snapshot covers exactly this chunk's work.
     """
     obs.reset_metrics()
-    results = [_run_item(fn, item, common, retries) for item in items]
+    if chunk_fn is not None:
+        results = _run_chunk_items(chunk_fn, items, common, retries)
+    else:
+        results = [_run_item(fn, item, common, retries) for item in items]
     obs.record_peak_rss()
     return results, obs.metrics_snapshot()
 
@@ -186,7 +225,13 @@ class FleetExecutor:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self.timeout = timeout
 
-    def map(self, fn: Callable[..., R], items: Iterable[T], *common: Any) -> List[R]:
+    def map(
+        self,
+        fn: Callable[..., R],
+        items: Iterable[T],
+        *common: Any,
+        chunk_fn: Optional[Callable[..., Sequence[R]]] = None,
+    ) -> List[R]:
         """Return ``[fn(item, *common) for item in items]``, possibly in parallel.
 
         ``fn`` must be a module-level (picklable) callable when ``jobs > 1``.
@@ -194,11 +239,22 @@ class FleetExecutor:
         a worker exception propagates to the caller, and chunks not yet
         started are cancelled rather than run to completion (fail fast —
         a poisoned box should not cost the wall-clock of the whole fleet).
+
+        ``chunk_fn``, when given, replaces the per-item loop *inside each
+        chunk*: it is called as ``chunk_fn(chunk_items, *common)`` and
+        must return one result per item, in order.  Dispatch, ordering,
+        windowing and metrics are unchanged — only the intra-chunk
+        execution strategy differs (the fused training plane batches all
+        boxes of a chunk into cross-box mega-fits this way).
         """
-        return list(self.imap(fn, items, *common))
+        return list(self.imap(fn, items, *common, chunk_fn=chunk_fn))
 
     def imap(
-        self, fn: Callable[..., R], items: Iterable[T], *common: Any
+        self,
+        fn: Callable[..., R],
+        items: Iterable[T],
+        *common: Any,
+        chunk_fn: Optional[Callable[..., Sequence[R]]] = None,
     ) -> Iterator[R]:
         """Yield ``fn(item, *common)`` for each item, in input order.
 
@@ -213,12 +269,25 @@ class FleetExecutor:
         Out-of-order completions are buffered until their predecessors
         land, so the caller always sees deterministic input order; the
         buffer is bounded by the in-flight window.
+
+        See :meth:`map` for ``chunk_fn`` semantics; the serial path
+        applies it over the same ``chunksize`` slices a parallel run
+        would ship, so chunk boundaries are identical at every ``jobs``.
         """
         work = list(items)
         if self.jobs == 1 or len(work) <= 1:
             obs.inc("executor.items", len(work))
-            for item in work:
-                yield _run_item(fn, item, common, self.retries)
+            if chunk_fn is not None and work:
+                chunk = self.chunksize or default_chunksize(len(work), self.jobs)
+                for lo in range(0, len(work), chunk):
+                    part = work[lo : lo + chunk]
+                    for result in _run_chunk_items(
+                        chunk_fn, part, common, self.retries
+                    ):
+                        yield result
+            else:
+                for item in work:
+                    yield _run_item(fn, item, common, self.retries)
             obs.record_peak_rss()
             return
 
@@ -243,7 +312,9 @@ class FleetExecutor:
             while next_yield < len(chunks):
                 while next_submit < len(chunks) and len(pending) < window:
                     part = chunks[next_submit]
-                    future = pool.submit(_run_chunk, fn, part, common, self.retries)
+                    future = pool.submit(
+                        _run_chunk, fn, part, common, self.retries, chunk_fn
+                    )
                     pending[future] = next_submit
                     next_submit += 1
                 while next_yield in buffered:

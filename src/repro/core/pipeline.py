@@ -39,7 +39,7 @@ from repro.core.degrade import (
     DegradationEvent,
     ErrorReport,
 )
-from repro.core.executor import FleetExecutor
+from repro.core.executor import FleetExecutor, default_chunksize
 from repro.core.results import PredictionAccuracy, ape_cdf
 from repro.core.streaming import fleet_results
 from repro.resizing.evaluate import FleetReduction, ResizingAlgorithm
@@ -50,7 +50,15 @@ from repro.trace.model import FleetTrace, Resource
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.shards import ShardedFleet
 
-__all__ = ["FleetAtmResult", "run_fleet_atm"]
+__all__ = ["FUSED_CHUNK_BOXES", "FleetAtmResult", "run_fleet_atm"]
+
+#: Upper bound on boxes gathered into one fused training chunk.  The
+#: fused plane holds every gathered box's training slice and controller
+#: live for the duration of the chunk, so the cap keeps the per-worker
+#: gather footprint flat (tens of MB at paper-sized boxes) and preserves
+#: the sublinear peak-RSS scaling pinned by BENCH_scale.json — fusion
+#: batches per chunk, never per fleet.
+FUSED_CHUNK_BOXES = 64
 
 
 @dataclass
@@ -172,6 +180,152 @@ def _run_box_ladder(
         return None, events
 
 
+def _fused_eligible(config: AtmConfig) -> bool:
+    """Whether the fleet-fused training plane applies under ``config``.
+
+    Fusion needs the batched temporal engine (it extends the same kernel)
+    and a registered fleet fitter for the configured model; either
+    ``REPRO_FUSED_FLEET=0`` or ``REPRO_BATCHED_TEMPORAL=0`` restores
+    strictly per-box stage execution.
+    """
+    from repro.core import runtime
+    from repro.prediction.registry import has_fleet_fitter
+    from repro.prediction.temporal.batched import batched_temporal_enabled
+
+    return (
+        runtime.fused_fleet_enabled()
+        and batched_temporal_enabled()
+        and has_fleet_fitter(config.prediction.temporal_model)
+    )
+
+
+def _run_box_atm_fused_chunk(
+    items, config: AtmConfig, degrade: bool, resume: bool = False
+) -> List[Tuple[Optional[BoxAtmResult], List[DegradationEvent]]]:
+    """Whole-chunk unit of work: fuse every box's temporal fits into one pass.
+
+    Produces exactly ``_run_box_atm(item, ...)`` for each item — same
+    results, same events, same store artifacts under the same keys — but
+    reorders the work: first a *gather* phase runs each box's resume
+    probe, forecast probe and signature search, then all gathered boxes'
+    signature series train together in one cross-box mega-batched pass
+    (:func:`repro.prediction.registry.fit_temporal_fleet_batch`), and a
+    *scatter* phase completes each box's forecast, sizing and evaluation.
+    The fused kernel is bit-identical to the per-box batched fit, so the
+    reordering is observable only as wall-clock.
+
+    Failure isolation stays per-box when ``degrade`` is on: a box that
+    raises anywhere in the gather or scatter phases — or whose histories
+    fail fused validation — is re-run down the ordinary
+    :func:`_run_box_atm` ladder (counted as ``fused.fallback_boxes``);
+    injected faults are deterministic per (box, attempt), so the replay
+    reproduces the per-box path's events exactly.  ``degrade=False``
+    keeps fail-fast semantics: the first exception propagates and fails
+    the chunk, as it would fail the fleet.
+    """
+    from repro.core import stages
+    from repro.prediction.combined import SpatialTemporalPredictor
+    from repro.prediction.registry import fit_temporal_fleet_batch
+    from repro.store import default_store
+    from repro.store.shards import resolve_box
+
+    out: List[Optional[Tuple[Optional[BoxAtmResult], List[DegradationEvent]]]] = [
+        None
+    ] * len(items)
+    store = default_store()
+
+    def fallback(pos: int) -> None:
+        obs.inc("fused.fallback_boxes")
+        out[pos] = _run_box_atm(items[pos], config, degrade, resume)
+
+    # Gather: resume probes, forecast probes, signature searches.  Boxes
+    # with a stored forecast skip fitting entirely (``finish``); the rest
+    # contribute their signature histories to the fused pass (``pending``).
+    pending: List[Tuple[int, AtmController, object, List]] = []
+    finish: List[Tuple[int, AtmController, object, object]] = []
+    for pos in range(len(items)):
+        try:
+            box = resolve_box(items[pos])
+            result_key = (
+                stages.box_result_key(box, config, degrade)
+                if store.persistent
+                else None
+            )
+            if resume and result_key is not None:
+                cached = store.get(result_key, memory=False)
+                if cached is not None:
+                    obs.inc("pipeline.resume.hits")
+                    result, events = cached
+                    out[pos] = (result, list(events))
+                    continue
+            controller = AtmController(box, config)
+            demands, forecast_key, prediction = stages.probe_forecast(controller)
+            if prediction is not None:
+                finish.append((pos, controller, result_key, prediction))
+                continue
+            predictor = SpatialTemporalPredictor(config.prediction)
+            with obs.span("atm.fit"):
+                histories = predictor.begin_fit(demands)
+            controller._predictor = predictor
+            pending.append((pos, controller, result_key, forecast_key, histories))
+        except Exception:
+            if not degrade:
+                raise
+            fallback(pos)
+
+    # Fuse: one cross-box mega-batched fit over every pending box's
+    # signature series.  A None entry = that box's group failed validation
+    # (re-run it per box, where its degradation ladder applies); a raised
+    # exception fails every pending box back to the per-box path.
+    groups: List[Optional[List]] = []
+    if pending:
+        try:
+            with obs.span("predict.temporal_fit"):
+                fitted = fit_temporal_fleet_batch(
+                    config.prediction.temporal_model,
+                    [histories for (_, _, _, _, histories) in pending],
+                    period=config.prediction.period,
+                )
+            groups = [None] * len(pending) if fitted is None else fitted
+        except Exception:
+            if not degrade:
+                raise
+            groups = [None] * len(pending)
+
+    # Scatter: complete each fused box's forecast, then run its sizing
+    # and evaluation stages exactly as the per-box orchestrator would.
+    for (pos, controller, result_key, forecast_key, _), models in zip(
+        pending, groups
+    ):
+        try:
+            if models is None:
+                fallback(pos)
+                continue
+            controller._predictor.finish_fit(models)
+            prediction = controller.predict(config.horizon_windows)
+            stages.store_forecast(forecast_key, prediction)
+            finish.append((pos, controller, result_key, prediction))
+        except Exception:
+            if not degrade:
+                raise
+            fallback(pos)
+
+    # Evaluate: sizing + accuracy for every box that holds a forecast.
+    for pos, controller, result_key, prediction in finish:
+        try:
+            with obs.span("pipeline.box_run"):
+                result = stages.evaluate_forecast_stages(controller, prediction)
+            pair: Tuple[Optional[BoxAtmResult], List[DegradationEvent]] = (result, [])
+            if result_key is not None:
+                store.put(result_key, pair, memory=False)
+            out[pos] = pair
+        except Exception:
+            if not degrade:
+                raise
+            fallback(pos)
+    return out  # type: ignore[return-value]
+
+
 def run_fleet_atm(
     fleet: Union[FleetTrace, "ShardedFleet"],
     config: Optional[AtmConfig] = None,
@@ -233,13 +387,30 @@ def run_fleet_atm(
             f"no box in fleet {fleet.name!r} has the {needed} windows required"
         )
     executor = FleetExecutor(jobs=jobs, chunksize=chunksize, retries=retries)
+    chunk_fn = None
+    if _fused_eligible(cfg):
+        chunk_fn = _run_box_atm_fused_chunk
+        if chunksize is None:
+            # Cap fused chunks: the gather phase holds a whole chunk's
+            # training slices at once, so the RSS bound must come from
+            # the chunk size, never the fleet size.  Serially there is no
+            # straggler risk to balance, so take the whole cap — bigger
+            # chunks mean fuller mega-batches.
+            executor.chunksize = (
+                FUSED_CHUNK_BOXES
+                if executor.jobs == 1
+                else min(
+                    default_chunksize(len(eligible), executor.jobs),
+                    FUSED_CHUNK_BOXES,
+                )
+            )
     obs.inc("pipeline.boxes", len(eligible))
     with obs.span("pipeline.fleet"):
         # One fold for both the streaming and the materialized path: only
         # the iterator differs (see repro.core.streaming), so the two are
         # bit-identical by construction.
         for result, events in fleet_results(
-            executor, _run_box_atm, eligible, cfg, degrade, resume
+            executor, _run_box_atm, eligible, cfg, degrade, resume, chunk_fn=chunk_fn
         ):
             out.report.extend(events)
             if result is None:

@@ -35,6 +35,11 @@ Variable                    Default    Meaning
 ``REPRO_DRIFT_GATE``        on         Drift-gated signature re-search in the
                                        online controller (``0`` restores the
                                        fixed ``refit_every_steps`` cadence).
+``REPRO_FUSED_FLEET``       on         Fleet-level fused temporal training:
+                                       chunk workers merge all their boxes'
+                                       signature fits into cross-box
+                                       mega-batches (``0`` restores strictly
+                                       per-box stage execution).
 ==========================  =========  =========================================
 
 Boolean gates share one falsy set: ``0``, ``false``, ``off``, ``no``
@@ -53,6 +58,7 @@ __all__ = [
     "BATCHED_ENV_VAR",
     "DRIFT_GATE_ENV_VAR",
     "FAULTS_ENV_VAR",
+    "FUSED_FLEET_ENV_VAR",
     "FAULTS_SEED_ENV_VAR",
     "JOBS_ENV_VAR",
     "METRICS_ENV_VAR",
@@ -67,6 +73,7 @@ __all__ = [
     "env_jobs",
     "faults_seed",
     "faults_spec",
+    "fused_fleet_enabled",
     "metrics_enabled",
     "settings",
     "signature_cache_enabled",
@@ -87,6 +94,7 @@ STORE_ENV_VAR = "REPRO_STORE"
 STREAM_AGG_ENV_VAR = "REPRO_STREAM_AGG"
 WARM_REFIT_ENV_VAR = "REPRO_WARM_REFIT"
 DRIFT_GATE_ENV_VAR = "REPRO_DRIFT_GATE"
+FUSED_FLEET_ENV_VAR = "REPRO_FUSED_FLEET"
 
 #: The one spelling of "disabled" every boolean gate accepts.
 _FALSY = frozenset({"0", "false", "off", "no"})
@@ -167,6 +175,11 @@ def drift_gate_enabled() -> bool:
     return _flag(DRIFT_GATE_ENV_VAR)
 
 
+def fused_fleet_enabled() -> bool:
+    """Whether fleet-level fused temporal training is active (default on)."""
+    return _flag(FUSED_FLEET_ENV_VAR)
+
+
 @dataclass(frozen=True)
 class RuntimeSettings:
     """One validated snapshot of every runtime gate."""
@@ -182,6 +195,7 @@ class RuntimeSettings:
     stream_agg: bool
     warm_refit: bool
     drift_gate: bool
+    fused_fleet: bool
 
 
 def settings() -> RuntimeSettings:
@@ -203,4 +217,5 @@ def settings() -> RuntimeSettings:
         stream_agg=stream_agg_enabled(),
         warm_refit=warm_refit_enabled(),
         drift_gate=drift_gate_enabled(),
+        fused_fleet=fused_fleet_enabled(),
     )

@@ -79,11 +79,15 @@ __all__ = [
     "SPATIAL_STAGE",
     "STAGES",
     "Stage",
+    "acquire_forecast",
     "box_fingerprint",
     "box_result_key",
+    "evaluate_forecast_stages",
     "forecast_key",
+    "probe_forecast",
     "resize_eval_key",
     "run_box_stages",
+    "store_forecast",
 ]
 
 #: Artifact-store stage names (``SPATIAL_STAGE`` re-exported for symmetry).
@@ -233,41 +237,68 @@ def resize_eval_key(
 
 
 # ------------------------------------------------------------ orchestrator
-def run_box_stages(controller: "AtmController") -> "BoxAtmResult":
-    """Run the forecast → resize → evaluate stages for one controller.
+def probe_forecast(
+    controller: "AtmController",
+) -> Tuple[np.ndarray, Optional[ArtifactKey], Optional[BoxPrediction]]:
+    """Materialize the training slice and probe the forecast artifact.
 
-    This is the body of :meth:`AtmController.run`: identical arithmetic,
-    but the forecast consults the artifact store first — with a persistent
-    store a stored forecast short-circuits the signature search and every
-    temporal fit, and the run proceeds straight to sizing.  Without a
-    store the compute path below is the bit-identical legacy pipeline.
+    The pre-fit half of the forecast stage, shared by the per-box and the
+    fleet-fused orchestrators: fault hooks fire inside
+    ``_training_demands`` (so poisoned slices change the key rather than
+    serve stale artifacts), then the store is consulted.  Returns
+    ``(demands, key, prediction)`` with ``key``/``prediction`` ``None``
+    when there is no persistent store / no stored forecast.
     """
+    demands = controller._training_demands()
+    store = default_store()
+    key = forecast_key(demands, controller.config) if store.persistent else None
+    # Disk-only: the in-memory tier already caches the expensive half
+    # (the spatial model) and forecasts are cheap to rebuild in-process.
+    prediction = store.get(key, memory=False) if key is not None else None
+    if prediction is not None:
+        obs.inc("stages.forecast.hits")
+    return demands, key, prediction
+
+
+def store_forecast(key: Optional[ArtifactKey], prediction: BoxPrediction) -> None:
+    """Persist a freshly computed forecast artifact (no-op without a key)."""
+    if key is not None:
+        default_store().put(key, prediction, memory=False)
+
+
+def acquire_forecast(controller: "AtmController") -> BoxPrediction:
+    """The forecast stage: serve the stored artifact or fit and predict.
+
+    With a persistent store a stored forecast short-circuits the signature
+    search and every temporal fit, and the run proceeds straight to
+    sizing.  Without a store the compute path below is the bit-identical
+    legacy pipeline.
+    """
+    cfg = controller.config
+    horizon = cfg.horizon_windows
+    if controller.is_fitted:
+        # Legacy pre-fitted path: honour whatever the caller fitted.
+        return controller.predict(horizon)
+    demands, key, prediction = probe_forecast(controller)
+    if prediction is None:
+        with obs.span("atm.fit"):
+            controller._predictor = SpatialTemporalPredictor(
+                cfg.prediction
+            ).fit(demands)
+        prediction = controller.predict(horizon)
+        store_forecast(key, prediction)
+    return prediction
+
+
+def evaluate_forecast_stages(
+    controller: "AtmController", prediction: BoxPrediction
+) -> "BoxAtmResult":
+    """The resize → evaluate stages downstream of an acquired forecast."""
     from repro.core.atm import BoxAtmResult
 
     box = controller.box
     cfg = controller.config
     horizon = cfg.horizon_windows
-
-    if controller.is_fitted:
-        # Legacy pre-fitted path: honour whatever the caller fitted.
-        prediction = controller.predict(horizon)
-    else:
-        demands = controller._training_demands()
-        store = default_store()
-        key = forecast_key(demands, cfg) if store.persistent else None
-        # Disk-only: the in-memory tier already caches the expensive half
-        # (the spatial model) and forecasts are cheap to rebuild in-process.
-        prediction = store.get(key, memory=False) if key is not None else None
-        if prediction is None:
-            with obs.span("atm.fit"):
-                controller._predictor = SpatialTemporalPredictor(
-                    cfg.prediction
-                ).fit(demands)
-            prediction = controller.predict(horizon)
-            if key is not None:
-                store.put(key, prediction, memory=False)
-        else:
-            obs.inc("stages.forecast.hits")
     per_resource = controller.split_prediction(prediction)
 
     lo = cfg.training_windows
@@ -312,6 +343,18 @@ def run_box_stages(controller: "AtmController") -> "BoxAtmResult":
         predicted=per_resource,
         allocations=allocations,
     )
+
+
+def run_box_stages(controller: "AtmController") -> "BoxAtmResult":
+    """Run the forecast → resize → evaluate stages for one controller.
+
+    This is the body of :meth:`AtmController.run`: identical arithmetic,
+    decomposed into :func:`acquire_forecast` (store-aware fit + predict)
+    and :func:`evaluate_forecast_stages` (sizing and evaluation) so the
+    fleet-fused orchestrator can interleave many boxes' fits between the
+    two halves without changing what any single box computes.
+    """
+    return evaluate_forecast_stages(controller, acquire_forecast(controller))
 
 
 # ----------------------------------------------------------------- codecs

@@ -29,7 +29,7 @@ and must never become the thing that scales with fleet size.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable, Iterator, List
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core import runtime
 from repro.core.executor import FleetExecutor
@@ -42,6 +42,7 @@ def fleet_results(
     fn: Callable[..., Any],
     items: Iterable[Any],
     *common: Any,
+    chunk_fn: Optional[Callable[..., Sequence[Any]]] = None,
 ) -> Iterator[Any]:
     """Yield per-item worker results in input order, streaming when gated on.
 
@@ -52,10 +53,14 @@ def fleet_results(
     ``REPRO_STREAM_AGG=0``: :meth:`FleetExecutor.map` materializes the
     full result list first (the pre-streaming behaviour), then iterates
     it — the verification path for bit-identical comparison.
+
+    ``chunk_fn`` is forwarded to the executor unchanged: when given, each
+    chunk's items are handed to it together instead of looping ``fn``
+    (the fleet-fused training plane rides through here).
     """
     if runtime.stream_agg_enabled():
-        return executor.imap(fn, items, *common)
-    return iter(executor.map(fn, items, *common))
+        return executor.imap(fn, items, *common, chunk_fn=chunk_fn)
+    return iter(executor.map(fn, items, *common, chunk_fn=chunk_fn))
 
 
 class TicketHistogram:

@@ -110,6 +110,7 @@ class SpatialTemporalPredictor:
         self._train: Optional[np.ndarray] = None
         self._warm_state: Optional[object] = None
         self._baseline_recon_error: Optional[float] = None
+        self._pending_train: Optional[np.ndarray] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -147,6 +148,53 @@ class SpatialTemporalPredictor:
             )
         obs.inc("predict.fits")
         return self._adopt(spatial, arr)
+
+    def begin_fit(self, train_matrix: Sequence[Sequence[float]]) -> "list[np.ndarray]":
+        """First half of :meth:`fit`: signature search, temporal fits deferred.
+
+        Runs the spatial stage exactly as :meth:`fit` would and returns
+        the signature histories (rows of the training matrix, in
+        signature-index order) instead of fitting them.  The caller hands
+        those histories to an external fitter — the fleet-fused plane
+        batches all boxes of a chunk into one pass — and completes the
+        predictor with :meth:`finish_fit`.  A ``begin_fit`` must be paired
+        with a ``finish_fit`` before :meth:`predict` is usable.
+        """
+        arr = self._validate_train(train_matrix)
+        obs.inc("predict.fits")
+        with obs.span("predict.signature_search"):
+            spatial = search_signature_set(arr, self.config.search)
+        self._spatial = spatial
+        self._warm_state = None  # a new spatial model resets the refit chain
+        self._temporal = {}
+        self._pending_train = arr
+        return [arr[idx] for idx in spatial.signature_indices]
+
+    def finish_fit(
+        self, fitted: Sequence[TemporalPredictor]
+    ) -> "SpatialTemporalPredictor":
+        """Second half of :meth:`fit`: adopt externally fitted temporal models.
+
+        ``fitted`` must hold one model per signature history returned by
+        :meth:`begin_fit`, in the same order.  The resulting predictor
+        state is exactly what :meth:`fit` would have produced had it
+        fitted the same models inline (the fused kernel guarantees the
+        models themselves are bit-identical, so the whole predictor is).
+        """
+        if self._spatial is None or self._pending_train is None:
+            raise RuntimeError("finish_fit requires a preceding begin_fit")
+        arr = self._pending_train
+        self._pending_train = None
+        indices = list(self._spatial.signature_indices)
+        if len(fitted) != len(indices):
+            raise ValueError(
+                f"got {len(fitted)} fitted temporal models for "
+                f"{len(indices)} signature series"
+            )
+        self._temporal = dict(zip(indices, fitted))
+        self._train = arr
+        self._baseline_recon_error = self.reconstruction_error(arr)
+        return self
 
     @staticmethod
     def _validate_train(train_matrix: Sequence[Sequence[float]]) -> np.ndarray:

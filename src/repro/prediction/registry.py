@@ -29,13 +29,16 @@ from repro.prediction.temporal import (
     SeasonalNaivePredictor,
     fit_neural_batch,
     fit_neural_batch_warm,
+    fit_neural_fused,
 )
 
 __all__ = [
     "available_temporal_models",
     "fit_temporal_batch",
     "fit_temporal_batch_warm",
+    "fit_temporal_fleet_batch",
     "has_batch_fitter",
+    "has_fleet_fitter",
     "has_warm_fitter",
     "make_temporal_model",
     "temporal_model_version",
@@ -155,3 +158,48 @@ def fit_temporal_batch_warm(
     if fitter is None:
         return None
     return fitter(list(histories), period, warm)
+
+
+# Fleet fitters: like _BATCH_FITTERS but over *groups* of histories (one
+# group per box), fusing every group's series into cross-box mega-batches.
+# A fleet fitter returns one fitted-model list per group, with None for a
+# group whose histories fail its validation — the caller re-runs exactly
+# those groups down the per-box path, preserving per-box failure isolation.
+_FLEET_FITTERS: Dict[
+    str,
+    Callable[
+        [Sequence[Sequence[np.ndarray]], int],
+        List[Optional[List[TemporalPredictor]]],
+    ],
+] = {
+    "neural": lambda groups, period: list(
+        fit_neural_fused(groups, MlpConfig(period=period))
+    ),
+}
+
+
+def has_fleet_fitter(name: str) -> bool:
+    """Whether :func:`fit_temporal_fleet_batch` supports this model name."""
+    return name in _FLEET_FITTERS
+
+
+def fit_temporal_fleet_batch(
+    name: str,
+    history_groups: Sequence[Sequence[np.ndarray]],
+    period: int = 96,
+) -> Optional[List[Optional[List[TemporalPredictor]]]]:
+    """Fit many boxes' signature histories in one fused cross-box pass.
+
+    ``history_groups`` holds one sequence of signature series per box;
+    the result keeps that grouping, each entry fitted in input order and
+    bit-identical to handing the same group to :func:`fit_temporal_batch`
+    on its own (pinned by the fused equivalence test suite).  Returns
+    ``None`` when the model has no fleet fitter — callers fall back to
+    per-box fits; a ``None`` *entry* marks one group that failed
+    validation and must take the per-box path (and its degradation
+    ladder) instead.
+    """
+    fitter = _FLEET_FITTERS.get(name)
+    if fitter is None:
+        return None
+    return fitter([list(group) for group in history_groups], period)

@@ -30,6 +30,7 @@ from repro.prediction.temporal.batched import (
     BatchFitState,
     batched_temporal_enabled,
     fit_neural_batch,
+    fit_neural_fused,
 )
 from repro.prediction.temporal.arima import ArimaPredictor
 from repro.prediction.temporal.holtwinters import HoltWintersPredictor
@@ -62,5 +63,6 @@ __all__ = [
     "batched_temporal_enabled",
     "fit_neural_batch",
     "fit_neural_batch_warm",
+    "fit_neural_fused",
     "warm_refit_enabled",
 ]

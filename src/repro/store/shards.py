@@ -282,21 +282,60 @@ def write_fleet_shards(
     return manifest
 
 
+def _generate_box_shard(index: int, cfg, root: str) -> BoxShardMeta:
+    """Pool-worker unit of parallel generation: one box, generated and sharded.
+
+    Module-level so the executor can pickle it.  Each box's RNG derives
+    from ``(cfg.seed, index)`` alone, so workers produce the exact bytes
+    the serial stream would — content addressing then makes the parallel
+    and serial stores literally the same files.
+    """
+    from repro.trace.generator import generate_box
+
+    return write_box_shard(generate_box(index, cfg), root)
+
+
 def generate_fleet_shards(
-    cfg, root: Union[str, Path], name: str = "synthetic"
+    cfg,
+    root: Union[str, Path],
+    name: str = "synthetic",
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
 ) -> ShardManifest:
     """Generate a synthetic fleet straight into a shard store.
 
     Streams ``generate_box`` output box by box — the full fleet is never
     resident.  Honours the ``REPRO_FORBID_FLEET_GENERATION`` guard like
-    ``generate_fleet`` itself.
+    ``generate_fleet`` itself: the guard is checked *here*, before any
+    worker is spawned, because this entry point is precisely the
+    parent-side synthesis step the guard exists to localize — its own
+    pool workers generate boxes by design, dispatched on box indices (a
+    few bytes each) rather than trace data.
+
+    ``jobs`` fans generation across processes through
+    :class:`repro.core.executor.FleetExecutor` (``None`` reads
+    ``REPRO_JOBS``; default serial).  Results are collected in box-index
+    order and every shard is content-addressed, so the manifest — and
+    every byte of the store — is identical at any worker count.
     """
+    from repro.core.executor import FleetExecutor, resolve_jobs
     from repro.trace.generator import check_generation_allowed, generate_box
 
     check_generation_allowed()
-    return write_fleet_shards(
-        (generate_box(index, cfg) for index in range(cfg.n_boxes)), root, name=name
-    )
+    if resolve_jobs(jobs) <= 1:
+        return write_fleet_shards(
+            (generate_box(index, cfg) for index in range(cfg.n_boxes)),
+            root,
+            name=name,
+        )
+    executor = FleetExecutor(jobs=jobs, chunksize=chunksize)
+    with obs.span("shards.generate"):
+        metas = executor.map(
+            _generate_box_shard, range(cfg.n_boxes), cfg, str(root)
+        )
+    manifest = ShardManifest(name=name, boxes=metas)
+    manifest.save(root)
+    return manifest
 
 
 # ------------------------------------------------------------------ reading

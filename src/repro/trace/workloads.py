@@ -17,6 +17,11 @@ from typing import Optional
 
 import numpy as np
 
+try:  # scipy is optional: the pure-numpy loop below is the reference path.
+    from scipy.signal import lfilter as _lfilter
+except Exception:  # pragma: no cover - exercised only without scipy
+    _lfilter = None
+
 __all__ = [
     "diurnal",
     "ar1_noise",
@@ -65,8 +70,17 @@ def ar1_noise(
     if sigma < 0:
         raise ValueError("sigma must be non-negative")
     eps = rng.normal(0.0, sigma, size=n_windows)
+    x0 = rng.normal(0.0, sigma / np.sqrt(max(1e-12, 1.0 - phi * phi)))
+    if _lfilter is not None:
+        # lfilter's direct-form recurrence computes y[t] = eps[t] + phi*y[t-1]
+        # — the same multiply-then-add per step as the loop below, so the
+        # output is bit-identical (pinned by tests/trace/test_workloads.py)
+        # while the per-window Python iteration cost disappears.  eps[0] is
+        # never consumed by the recurrence, so it can carry the start value.
+        eps[0] = x0
+        return _lfilter([1.0], [1.0, -phi], eps)
     out = np.empty(n_windows)
-    out[0] = rng.normal(0.0, sigma / np.sqrt(max(1e-12, 1.0 - phi * phi)))
+    out[0] = x0
     for t in range(1, n_windows):
         out[t] = phi * out[t - 1] + eps[t]
     return out

@@ -350,3 +350,102 @@ class TestWorkersNeverGenerateFleets:
         monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
         result = run_fleet_atm(fleet, atm_config, jobs=2)
         assert len(result.accuracies) == fleet.n_boxes
+
+
+def _square_chunk(items):
+    """Chunk-granular twin of _square (module-level for pool pickling)."""
+    return [x * x for x in items]
+
+
+def _scale_chunk(items, factor):
+    return [x * factor for x in items]
+
+
+def _drop_last_chunk(items):
+    return [x * x for x in items][:-1]  # one result short: a contract bug
+
+
+def _chunk_fail_until_marked(items, out_dir):
+    """The whole chunk fails on its first attempt, then succeeds."""
+    marker = os.path.join(out_dir, f"chunk-tried-{items[0]}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("chunk glitch")
+    return [x * 10 for x in items]
+
+
+def _inject_chunk_box_error(items):
+    from repro.core import faults as _faults
+
+    for item in items:
+        _faults.inject_fault("box_error", f"item-{item}")
+    return list(items)
+
+
+class TestChunkFn:
+    """Chunk-granular execution: ``chunk_fn`` replaces the per-item loop."""
+
+    def test_serial_map_matches_item_path(self):
+        items = list(range(11))
+        chunked = FleetExecutor(jobs=1, chunksize=3).map(
+            _square, items, chunk_fn=_square_chunk
+        )
+        assert chunked == FleetExecutor(jobs=1).map(_square, items)
+
+    def test_serial_imap_streams_in_order(self):
+        items = list(range(10))
+        streamed = list(
+            FleetExecutor(jobs=1, chunksize=4).imap(
+                _square, items, chunk_fn=_square_chunk
+            )
+        )
+        assert streamed == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(17))
+        serial = FleetExecutor(jobs=1, chunksize=4).map(
+            _square, items, chunk_fn=_square_chunk
+        )
+        parallel = FleetExecutor(jobs=2, chunksize=4).map(
+            _square, items, chunk_fn=_square_chunk
+        )
+        assert parallel == serial == [x * x for x in items]
+
+    def test_common_args_forwarded(self):
+        result = FleetExecutor(jobs=1, chunksize=2).map(
+            _scale, [1, 2, 3], 10, chunk_fn=_scale_chunk
+        )
+        assert result == [10, 20, 30]
+
+    def test_result_count_contract_enforced(self):
+        with pytest.raises(RuntimeError, match="chunk function returned"):
+            FleetExecutor(jobs=1, chunksize=4).map(
+                _square, list(range(8)), chunk_fn=_drop_last_chunk
+            )
+
+    def test_chunk_granular_retry_recovers(self, tmp_path):
+        from repro import obs
+
+        obs.reset_metrics()
+        result = FleetExecutor(jobs=1, chunksize=2, retries=1).map(
+            _fail_until_marked,
+            list(range(4)),
+            str(tmp_path),
+            chunk_fn=_chunk_fail_until_marked,
+        )
+        assert result == [0, 10, 20, 30]
+        # Both chunks failed once; each retried as a whole chunk.
+        assert obs.metrics_snapshot()["counters"]["executor.retries"] == 2
+
+    def test_once_fault_clears_on_chunk_retry(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:once")
+        assert FleetExecutor(jobs=1, chunksize=2, retries=1).map(
+            _inject_box_error, list(range(4)), chunk_fn=_inject_chunk_box_error
+        ) == [0, 1, 2, 3]
+
+    def test_once_fault_clears_in_pool_chunks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "box_error:once")
+        assert FleetExecutor(jobs=2, chunksize=2, retries=1).map(
+            _inject_box_error, list(range(4)), chunk_fn=_inject_chunk_box_error
+        ) == [0, 1, 2, 3]

@@ -21,6 +21,7 @@ def _clean_env(monkeypatch):
         runtime.STORE_ENV_VAR,
         runtime.WARM_REFIT_ENV_VAR,
         runtime.DRIFT_GATE_ENV_VAR,
+        runtime.FUSED_FLEET_ENV_VAR,
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -43,6 +44,12 @@ class TestFlags:
         assert runtime.metrics_enabled()
         assert runtime.warm_refit_enabled()
         assert runtime.drift_gate_enabled()
+        assert runtime.fused_fleet_enabled()
+
+    def test_fused_fleet_gate_disables(self, monkeypatch):
+        monkeypatch.setenv(runtime.FUSED_FLEET_ENV_VAR, "0")
+        assert not runtime.fused_fleet_enabled()
+        assert not runtime.settings().fused_fleet
 
     def test_online_gates_disable(self, monkeypatch):
         monkeypatch.setenv(runtime.WARM_REFIT_ENV_VAR, "0")

@@ -89,3 +89,65 @@ class TestFitPredict:
         prediction = SpatialTemporalPredictor(config).fit_predict(data, 24)
         assert prediction.temporal_model == "neural"
         assert np.isfinite(prediction.predictions).all()
+
+
+class TestSplitFit:
+    """``begin_fit``/``finish_fit`` — the fused plane's two-phase fit."""
+
+    @staticmethod
+    def _external_fits(config, histories):
+        from repro.prediction.registry import make_temporal_model
+
+        return [
+            make_temporal_model(config.temporal_model, period=config.period).fit(h)
+            for h in histories
+        ]
+
+    def test_split_fit_equals_inline_fit(self, rng, config):
+        data = periodic_matrix(rng)
+        inline = SpatialTemporalPredictor(config).fit(data)
+        split = SpatialTemporalPredictor(config)
+        histories = split.begin_fit(data)
+        split.finish_fit(self._external_fits(config, histories))
+        np.testing.assert_array_equal(
+            split.predict(24).predictions, inline.predict(24).predictions
+        )
+        assert split.spatial_model.signature_ratio == (
+            inline.spatial_model.signature_ratio
+        )
+        assert split.baseline_reconstruction_error == (
+            inline.baseline_reconstruction_error
+        )
+
+    def test_histories_are_signature_rows(self, rng, config):
+        data = periodic_matrix(rng)
+        predictor = SpatialTemporalPredictor(config)
+        histories = predictor.begin_fit(data)
+        indices = predictor.spatial_model.signature_indices
+        assert len(histories) == len(indices)
+        for idx, history in zip(indices, histories):
+            np.testing.assert_array_equal(history, data[idx])
+
+    def test_finish_without_begin_raises(self, config):
+        with pytest.raises(RuntimeError, match="begin_fit"):
+            SpatialTemporalPredictor(config).finish_fit([])
+
+    def test_wrong_model_count_raises(self, rng, config):
+        predictor = SpatialTemporalPredictor(config)
+        predictor.begin_fit(periodic_matrix(rng))
+        with pytest.raises(ValueError, match="fitted temporal models"):
+            predictor.finish_fit([])
+
+    def test_predict_before_finish_raises(self, rng, config):
+        predictor = SpatialTemporalPredictor(config)
+        predictor.begin_fit(periodic_matrix(rng))
+        with pytest.raises(Exception):
+            predictor.predict(24)
+
+    def test_refit_temporal_after_split_fit(self, rng, config):
+        data = periodic_matrix(rng, days=6)
+        predictor = SpatialTemporalPredictor(config)
+        histories = predictor.begin_fit(data[:, :96])
+        predictor.finish_fit(self._external_fits(config, histories))
+        predictor.refit_temporal(data[:, :120])
+        assert predictor.predict(24).predictions.shape == (6, 24)

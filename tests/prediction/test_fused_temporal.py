@@ -1,0 +1,178 @@
+"""Fleet-fused cross-box training: bit-identity, slabs, failure isolation.
+
+The fleet fitter (:func:`repro.prediction.temporal.batched.fit_neural_fused`)
+claims each group's models are *bit-identical* to handing that group to
+:func:`fit_neural_batch` on its own — regardless of which other boxes ride
+in the same mega-batch, how ragged the group sizes are, or where the slab
+boundaries fall.  These tests pin that claim, the ``max_models`` slab
+splitting, per-group failure isolation, and the fused observability
+counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.prediction.registry import (
+    fit_temporal_batch,
+    fit_temporal_fleet_batch,
+    has_fleet_fitter,
+)
+from repro.prediction.temporal.batched import (
+    FUSED_SLAB_MODELS,
+    fit_equal_length_state,
+    fit_neural_batch,
+    fit_neural_fused,
+)
+from repro.prediction.temporal.neural import MlpConfig, NeuralNetPredictor
+
+# Small config keeps every fit fast; bit-equivalence is config-agnostic.
+FAST = MlpConfig(hidden_layers=(8, 4), period=24, max_epochs=40, patience=5)
+
+
+def make_histories(k, size, seed, period=24):
+    """K diurnal series with heterogeneous noise (so convergence differs)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(size)
+    out = []
+    for _ in range(k):
+        base = 40 + 25 * np.sin(2 * np.pi * t / period + rng.uniform(0, 2 * np.pi))
+        trend = rng.uniform(-0.02, 0.02) * t
+        noise = rng.normal(0, rng.uniform(0.5, 4.0), size)
+        out.append(np.maximum(base + trend + noise, 0.0))
+    return out
+
+
+def assert_group_equivalent(per_box, fused, horizon=24):
+    assert len(per_box) == len(fused)
+    for s, f in zip(per_box, fused):
+        assert s._fit_epochs == f._fit_epochs
+        np.testing.assert_array_equal(s.predict(horizon), f.predict(horizon))
+
+
+class TestFusedEquivalence:
+    def test_ragged_groups_bit_identical(self):
+        """Groups of different widths and lengths: fused == per-box batch."""
+        groups = [
+            make_histories(3, 24 * 4, seed=0),
+            make_histories(1, 24 * 4, seed=1),  # K=1 group joins the batch
+            make_histories(4, 24 * 5, seed=2),  # different length bucket
+            make_histories(2, 24 * 4, seed=3),
+        ]
+        fused = fit_neural_fused(groups, FAST)
+        for group, fused_models in zip(groups, fused):
+            assert fused_models is not None
+            per_box = fit_neural_batch(group, FAST)
+            assert_group_equivalent(per_box, fused_models)
+
+    def test_slab_boundary_straddle(self):
+        """A mega-batch split into tiny slabs equals the unbounded stack.
+
+        With max_models=3 and 8 total series, slab boundaries fall inside
+        groups — the split must not perturb any model's float stream.
+        """
+        groups = [
+            make_histories(2, 24 * 4, seed=10),
+            make_histories(4, 24 * 4, seed=11),
+            make_histories(2, 24 * 4, seed=12),
+        ]
+        unbounded = fit_neural_fused(groups, FAST, max_models=1_000_000)
+        slabbed = fit_neural_fused(groups, FAST, max_models=3)
+        for wide, narrow in zip(unbounded, slabbed):
+            assert_group_equivalent(wide, narrow)
+
+    def test_single_series_fleet(self):
+        """One group with one series: the degenerate serial route."""
+        histories = make_histories(1, 24 * 4, seed=20)
+        (fused_models,) = fit_neural_fused([histories], FAST)
+        serial = NeuralNetPredictor(FAST).fit(histories[0])
+        assert_group_equivalent([serial], fused_models)
+
+    def test_equal_length_state_slab_identity(self):
+        """The kernel-level knob: max_models slabs == one unbounded stack."""
+        matrix = np.stack(make_histories(7, 24 * 4, seed=30))
+        wide_models, wide_state = fit_equal_length_state(matrix, FAST)
+        slab_models, slab_state = fit_equal_length_state(matrix, FAST, max_models=3)
+        assert_group_equivalent(wide_models, slab_models)
+        np.testing.assert_array_equal(wide_state.params, slab_state.params)
+        np.testing.assert_array_equal(wide_state.epochs, slab_state.epochs)
+
+    def test_max_models_must_be_positive(self):
+        matrix = np.stack(make_histories(2, 24 * 4, seed=31))
+        with pytest.raises(ValueError, match="max_models"):
+            fit_equal_length_state(matrix, FAST, max_models=0)
+
+    def test_width_one_slabs_identical(self):
+        """max_models=1 degenerates to per-model fits — still bit-identical.
+
+        The strongest width-stability pin: every reduction in the kernel
+        is per-row flat, so even a (1, n) slab stays in the same float
+        family as the unbounded wide stack.
+        """
+        matrix = np.stack(make_histories(3, 24 * 4, seed=33))
+        wide_models, wide_state = fit_equal_length_state(matrix, FAST)
+        slab_models, slab_state = fit_equal_length_state(matrix, FAST, max_models=1)
+        assert_group_equivalent(wide_models, slab_models)
+        np.testing.assert_array_equal(wide_state.params, slab_state.params)
+
+
+class TestFailureIsolation:
+    def test_bad_group_yields_none_others_fit(self):
+        """A group with an invalid history gets None; neighbors still fit."""
+        good = make_histories(2, 24 * 4, seed=40)
+        bad = [np.full(24 * 4, np.nan)]  # non-finite -> validation failure
+        short = [np.arange(5.0)]  # too short for period+2
+        fused = fit_neural_fused([good, bad, short], FAST)
+        assert fused[1] is None
+        assert fused[2] is None
+        assert_group_equivalent(fit_neural_batch(good, FAST), fused[0])
+
+    def test_all_groups_bad(self):
+        fused = fit_neural_fused([[np.full(10, np.nan)]], FAST)
+        assert fused == [None]
+
+
+class TestRegistry:
+    def test_neural_has_fleet_fitter(self):
+        assert has_fleet_fitter("neural")
+        assert not has_fleet_fitter("seasonal_mean")
+
+    def test_unsupported_model_returns_none(self):
+        assert fit_temporal_fleet_batch("seasonal_mean", [[np.arange(48.0)]]) is None
+
+    def test_fleet_batch_matches_per_group_batch(self):
+        groups = [
+            make_histories(2, 24 * 5, seed=50, period=24),
+            make_histories(3, 24 * 5, seed=51, period=24),
+        ]
+        # Registry entry points use the default MlpConfig at this period.
+        fused = fit_temporal_fleet_batch("neural", groups, period=24)
+        assert fused is not None
+        for group, fused_models in zip(groups, fused):
+            per_box = fit_temporal_batch("neural", group, period=24)
+            assert_group_equivalent(per_box, fused_models, horizon=24)
+
+
+class TestObservability:
+    def test_counters_and_gauge(self):
+        obs.reset_metrics()
+        groups = [
+            make_histories(2, 24 * 4, seed=60),
+            make_histories(3, 24 * 4, seed=61),  # same length bucket: fused
+            make_histories(2, 24 * 5, seed=62),  # second length bucket
+        ]
+        fit_neural_fused(groups, FAST)
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["fused.groups"] == 2  # one per length bucket
+        assert snap["gauges"]["fused.models_per_pass"] == 5.0
+
+    def test_models_per_pass_capped_by_slab(self):
+        obs.reset_metrics()
+        fit_neural_fused([make_histories(5, 24 * 4, seed=63)], FAST, max_models=2)
+        snap = obs.metrics_snapshot()
+        assert snap["gauges"]["fused.models_per_pass"] == 2.0
+
+    def test_default_slab_width_is_bounded(self):
+        # The RSS contract: mega-batches train as bounded slabs, never the
+        # whole fleet at once.
+        assert 1 <= FUSED_SLAB_MODELS <= 256

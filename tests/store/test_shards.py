@@ -234,3 +234,46 @@ class TestGenerateIntoShards:
         monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
         with pytest.raises(RuntimeError, match="forbidden"):
             generate_fleet_shards(FleetConfig(n_boxes=1, days=1, seed=1), tmp_path)
+
+
+class TestParallelGeneration:
+    """Satellite: ``generate_fleet_shards(jobs=N)`` is byte-identical to
+    serial generation — same shards, same manifest, any worker count."""
+
+    @staticmethod
+    def _tree_digest(root):
+        import hashlib
+        from pathlib import Path
+
+        h = hashlib.blake2b()
+        for path in sorted(Path(root).rglob("*")):
+            if path.is_file():
+                h.update(str(path.relative_to(root)).encode())
+                h.update(path.read_bytes())
+        return h.hexdigest()
+
+    def test_parallel_store_byte_identical_to_serial(self, tmp_path):
+        cfg = FleetConfig(n_boxes=5, days=1, seed=42)
+        serial = generate_fleet_shards(cfg, tmp_path / "serial", jobs=1)
+        parallel = generate_fleet_shards(cfg, tmp_path / "parallel", jobs=2)
+        assert parallel.boxes == serial.boxes
+        assert self._tree_digest(tmp_path / "serial") == self._tree_digest(
+            tmp_path / "parallel"
+        )
+
+    def test_parallel_views_match_generate_fleet(self, tmp_path):
+        cfg = FleetConfig(n_boxes=4, days=1, seed=43)
+        generate_fleet_shards(cfg, tmp_path / "gen", jobs=2)
+        reference = generate_fleet(cfg)
+        for original, view in zip(reference, load_fleet_shards(tmp_path / "gen")):
+            assert view.box_id == original.box_id
+            np.testing.assert_array_equal(
+                view.usage_matrix(), original.usage_matrix()
+            )
+
+    def test_generation_guard_applies_with_jobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        with pytest.raises(RuntimeError, match="forbidden"):
+            generate_fleet_shards(
+                FleetConfig(n_boxes=2, days=1, seed=1), tmp_path, jobs=2
+            )

@@ -131,3 +131,23 @@ class TestAlternatingLoad:
     def test_low_above_high_rejected(self):
         with pytest.raises(ValueError):
             alternating_load(4, 2, low=5.0, high=3.0)
+
+
+class TestAr1LfilterPath:
+    """The scipy lfilter fast path is bit-identical to the Python loop."""
+
+    @staticmethod
+    def _reference(rng, n_windows, phi, sigma=1.0):
+        eps = rng.normal(0.0, sigma, size=n_windows)
+        x0 = rng.normal(0.0, sigma / np.sqrt(max(1e-12, 1.0 - phi * phi)))
+        out = np.empty(n_windows)
+        out[0] = x0
+        for t in range(1, n_windows):
+            out[t] = phi * out[t - 1] + eps[t]
+        return out
+
+    @pytest.mark.parametrize("phi", [0.8, 0.97, -0.5, 0.3])
+    def test_bit_identical_to_loop(self, phi):
+        fast = ar1_noise(np.random.default_rng(7), 500, phi=phi)
+        loop = self._reference(np.random.default_rng(7), 500, phi=phi)
+        np.testing.assert_array_equal(fast, loop)
