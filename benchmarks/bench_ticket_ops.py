@@ -1,0 +1,134 @@
+"""Ticket-operations fleet loop — serial vs parallel wall-clock and digests.
+
+Benchmarks :func:`repro.tickets.ops.run_fleet_ops` (PR: the
+monitor → incidents → route → resolve loop) over a sharded fleet:
+
+* **serial** — ``jobs=1``: one process walks every box ref.
+* **parallel** — ``jobs=N``: the fleet executor fans box refs out to
+  workers, which memory-map their shards; results stream back through
+  the constant-memory fold.
+
+Correctness is the headline, not the speedup: scoring, assignment and
+the SLA-clock schedule are pure functions of one box's trace and the
+``OpsConfig``, and the fleet folds per-box digests in fleet box order —
+so the assignment and evidence digests must match **bit-identically**
+between the legs, and the benchmark fails loudly if they drift.  The
+timing ratio is recorded for the report but only sanity-checked (the
+per-box work is light, so parallel wins are host-dependent).
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_ticket_ops.py [--boxes 2000]
+        [--jobs 4] [--quick] [--out BENCH_ticket_ops.json]
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+BENCH_SCHEMA = "repro.bench_ticket_ops/v1"
+DEFAULT_BOXES = 2000
+DEFAULT_JOBS = 4
+QUICK_BOXES = 24
+DAYS = 1
+
+
+def _effective_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_leg(root: str, jobs: int) -> dict:
+    from repro import obs
+    from repro.store.shards import ShardedFleet
+    from repro.tickets.ops import run_fleet_ops
+
+    obs.reset_metrics()
+    t0 = time.perf_counter()
+    result = run_fleet_ops(ShardedFleet(root), jobs=jobs)
+    elapsed = time.perf_counter() - t0
+    obs.record_peak_rss()
+    snap = obs.metrics_snapshot()
+    return {
+        "jobs": jobs,
+        "run_s": round(elapsed, 3),
+        "boxes": result.boxes,
+        "tickets": result.tickets,
+        "incidents": result.incidents,
+        "breached_incidents": result.breached_incidents,
+        "assignment_digest": result.assignment_digest,
+        "evidence_digest": result.evidence_digest,
+        "peak_rss_bytes": int(snap["gauges"]["proc.peak_rss_bytes"]),
+    }
+
+
+def run_bench(n_boxes: int, jobs: int, seed: int = 20160628) -> dict:
+    from repro.store.shards import generate_fleet_shards
+    from repro.trace.generator import FleetConfig
+
+    with tempfile.TemporaryDirectory(prefix="bench-ticket-ops-") as tmp:
+        generate_fleet_shards(
+            FleetConfig(n_boxes=n_boxes, days=DAYS, seed=seed), tmp
+        )
+        serial = _run_leg(tmp, jobs=1)
+        parallel = _run_leg(tmp, jobs=jobs)
+
+    if serial["assignment_digest"] != parallel["assignment_digest"]:
+        raise AssertionError(
+            "assignment digests drifted between serial and parallel: "
+            f"{serial['assignment_digest']} != {parallel['assignment_digest']}"
+        )
+    if serial["evidence_digest"] != parallel["evidence_digest"]:
+        raise AssertionError(
+            "evidence digests drifted between serial and parallel: "
+            f"{serial['evidence_digest']} != {parallel['evidence_digest']}"
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "boxes": n_boxes,
+        "effective_cpus": _effective_cpus(),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(serial["run_s"] / max(parallel["run_s"], 1e-9), 2),
+        "digests_identical": True,
+    }
+
+
+def test_ticket_ops_parallel_digests():
+    report = run_bench(n_boxes=QUICK_BOXES, jobs=2)
+    assert report["digests_identical"]
+    assert report["serial"]["incidents"] == report["parallel"]["incidents"]
+    assert report["serial"]["incidents"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--boxes", type=int, default=DEFAULT_BOXES)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small fleet ({QUICK_BOXES} boxes) for smoke runs",
+    )
+    parser.add_argument("--out", type=str, default=None, help="write JSON report")
+    args = parser.parse_args(argv)
+
+    n_boxes = QUICK_BOXES if args.quick else args.boxes
+    report = run_bench(n_boxes=n_boxes, jobs=args.jobs)
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

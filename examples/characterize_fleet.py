@@ -45,12 +45,15 @@ def main() -> None:
     # Triage view: correlated ticket storms collapse into incidents.
     policy = TicketPolicy(threshold_pct=60.0)
     incident_stats = fleet_incident_stats(fleet, policy)
-    print(
-        f"\ntriage view: {incident_stats['tickets']} tickets collapse into "
-        f"{incident_stats['incidents']} incidents "
-        f"({incident_stats['tickets_per_incident']:.1f} tickets/incident; "
-        f"{100 * incident_stats['spatial_incident_share']:.0f}% span multiple VMs)"
-    )
+    if incident_stats["incidents"]:
+        print(
+            f"\ntriage view: {incident_stats['tickets']} tickets collapse into "
+            f"{incident_stats['incidents']} incidents "
+            f"({incident_stats['tickets_per_incident']:.1f} tickets/incident; "
+            f"{100 * incident_stats['spatial_incident_share']:.0f}% span multiple VMs)"
+        )
+    else:
+        print("\ntriage view: no tickets, nothing to triage")
 
     # Drill into the busiest box the way a ticket queue would show it.
     busiest = max(

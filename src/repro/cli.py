@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the workflows an operator would actually run:
+Eight commands cover the workflows an operator would actually run:
 
 * ``characterize`` — the Section II study on a (synthetic or loaded) fleet.
 * ``predict``      — full-ATM prediction accuracy (Fig. 9 style).
 * ``resize``       — oracle resizing comparison across algorithms (Fig. 8).
 * ``online``       — the rolling day-by-day controller (incremental:
   warm-started refits, drift-gated re-search, parallel boxes).
+* ``tickets``      — the incident-operations loop: monitor → incidents →
+  route → resolve, with SLA clocks and store-served evidence bundles.
 * ``testbed``      — the simulated MediaWiki experiment (Figs. 12/13).
 * ``generate``     — write a synthetic fleet trace to CSV.
 * ``shard``        — build a memory-mapped shard store (synthetic or from
@@ -32,6 +34,7 @@ from repro.prediction.spatial.signatures import ClusteringMethod
 from repro.resizing.evaluate import ResizingAlgorithm, evaluate_fleet_resizing
 from repro.store import STORE_ENV_VAR
 from repro.tickets import DEFAULT_THRESHOLDS, correlation_cdfs, fleet_ticket_summary
+from repro.tickets.ops.assign import ASSIGN_STRATEGIES
 from repro.tickets.policy import TicketPolicy
 from repro.trace import (
     FleetConfig,
@@ -202,6 +205,88 @@ def _cmd_online(args: argparse.Namespace) -> int:
         ],
     )
     _print_degradations(result.report)
+    return 0
+
+
+def _cmd_tickets(args: argparse.Namespace) -> int:
+    from repro.tickets.ops import (
+        AssignPolicy,
+        OpsConfig,
+        ScoringPolicy,
+        SlaPolicy,
+        run_fleet_ops,
+    )
+
+    fleet = _fleet_from_args(args)
+    resume = _apply_store_args(args)
+    # Flags override the env knobs, which override the package defaults.
+    queues = args.queues if args.queues is not None else runtime.route_queues()
+    ack = (
+        args.ack_windows
+        if args.ack_windows is not None
+        else runtime.sla_ack_windows()
+    )
+    resolve = (
+        args.resolve_windows
+        if args.resolve_windows is not None
+        else runtime.sla_resolve_windows()
+    )
+    config = OpsConfig(
+        policy=TicketPolicy(threshold_pct=args.threshold),
+        max_gap_windows=args.max_gap,
+        scoring=ScoringPolicy(),
+        assign=AssignPolicy(n_queues=queues, strategy=args.strategy),
+        sla=SlaPolicy(ack_windows=ack, resolve_windows=resolve),
+    )
+    result = run_fleet_ops(fleet, config, jobs=args.jobs, resume=resume)
+    ack_min, resolve_min = config.sla.deadlines_minutes(config.policy)
+    ratio = result.tickets_per_incident()
+    spatial = result.spatial_incident_share()
+    print_table(
+        f"Ticket operations — {result.boxes} boxes, "
+        f"{args.threshold:.0f}% threshold, SLA ack {ack_min} min / "
+        f"resolve {resolve_min} min",
+        ["metric", "value"],
+        [
+            ["tickets", result.tickets],
+            ["incidents", result.incidents],
+            ["tickets/incident", "n/a" if ratio is None else ratio],
+            ["spatial share %", "n/a" if spatial is None else 100.0 * spatial],
+            ["evidence bundles", result.evidence_bundles],
+            ["peak open incidents", result.max_open],
+            ["ack breaches", result.ack_breaches],
+            ["resolve breaches", result.resolve_breaches],
+        ],
+    )
+    print_table(
+        f"Routing — {config.assign.n_queues} queues ({config.assign.strategy})",
+        ["queue", "incidents", "breaches"],
+        [
+            [queue, count, result.queue_breaches[queue]]
+            for queue, count in enumerate(result.queue_counts)
+        ],
+    )
+    if result.top_incidents:
+        print_table(
+            "Top incidents by triage score",
+            ["box", "windows", "tk", "vms", "score", "q", "ack", "rslv", "SLA"],
+            [
+                [
+                    row.box_id,
+                    f"{row.start_window}-{row.end_window}",
+                    row.n_tickets,
+                    row.n_vms,
+                    row.score,
+                    row.queue,
+                    row.ack_window,
+                    row.resolve_window,
+                    "BREACH" if (row.ack_breached or row.resolve_breached) else "ok",
+                ]
+                for row in result.top_incidents
+            ],
+        )
+    print(f"assignment digest {result.assignment_digest}")
+    print(f"evidence digest   {result.evidence_digest}")
     return 0
 
 
@@ -394,6 +479,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     online.set_defaults(func=_cmd_online)
 
+    tickets = sub.add_parser(
+        "tickets",
+        help="incident operations: monitor → incidents → route → resolve",
+    )
+    _add_fleet_arguments(tickets, days=1)
+    _add_jobs_argument(tickets)
+    tickets.add_argument(
+        "--threshold", type=float, default=60.0,
+        help="ticket threshold in percent of allocation (Eq. 6 alpha)",
+    )
+    tickets.add_argument(
+        "--max-gap", type=int, default=1, dest="max_gap", metavar="G",
+        help="windows of silence that still merge tickets into one incident",
+    )
+    tickets.add_argument(
+        "--queues", type=int, default=None, metavar="N",
+        help="responder queues (default: $REPRO_ROUTE_QUEUES or 2)",
+    )
+    tickets.add_argument(
+        "--strategy", choices=list(ASSIGN_STRATEGIES), default="round_robin",
+        help="incident → queue assignment strategy",
+    )
+    tickets.add_argument(
+        "--ack-windows", type=int, default=None, dest="ack_windows", metavar="W",
+        help="SLA ack deadline in ticketing windows "
+        "(default: $REPRO_SLA_ACK_WINDOWS or 1)",
+    )
+    tickets.add_argument(
+        "--resolve-windows", type=int, default=None, dest="resolve_windows",
+        metavar="W",
+        help="SLA resolve deadline in ticketing windows "
+        "(default: $REPRO_SLA_RESOLVE_WINDOWS or 4)",
+    )
+    tickets.set_defaults(func=_cmd_tickets)
+
     testbed = sub.add_parser("testbed", help="simulated MediaWiki experiment")
     testbed.add_argument("--hours", type=int, default=6)
     testbed.add_argument("--seed", type=int, default=42)
@@ -435,10 +555,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics_path = getattr(args, "metrics_json", None)
     if metrics_path:
         obs.reset_metrics()  # scope the snapshot to this command
-    code = args.func(args)
-    if metrics_path:
-        obs.write_metrics_json(metrics_path)
-        print(f"wrote metrics to {metrics_path}")
+    try:
+        code = args.func(args)
+    finally:
+        # Write the snapshot even when the command raises: a degraded or
+        # failing run is exactly when the breach/degradation counters are
+        # worth having on disk.
+        if metrics_path:
+            obs.write_metrics_json(metrics_path)
+            print(f"wrote metrics to {metrics_path}")
     return code
 
 

@@ -40,6 +40,13 @@ Variable                    Default    Meaning
                                        signature fits into cross-box
                                        mega-batches (``0`` restores strictly
                                        per-box stage execution).
+``REPRO_ROUTE_QUEUES``      ``2``      Responder queues the ticket-operations
+                                       loop routes incidents into (CLI
+                                       ``tickets --queues`` overrides).
+``REPRO_SLA_ACK_WINDOWS``   ``1``      Ack deadline of the incident SLA clock,
+                                       in ticketing windows.
+``REPRO_SLA_RESOLVE_WINDOWS`` ``4``    Resolve deadline of the incident SLA
+                                       clock, in ticketing windows.
 ==========================  =========  =========================================
 
 Boolean gates share one falsy set: ``0``, ``false``, ``off``, ``no``
@@ -62,7 +69,10 @@ __all__ = [
     "FAULTS_SEED_ENV_VAR",
     "JOBS_ENV_VAR",
     "METRICS_ENV_VAR",
+    "ROUTE_QUEUES_ENV_VAR",
     "SIGNATURE_CACHE_ENV_VAR",
+    "SLA_ACK_ENV_VAR",
+    "SLA_RESOLVE_ENV_VAR",
     "STORE_ENV_VAR",
     "STREAM_AGG_ENV_VAR",
     "VECTOR_ENV_VAR",
@@ -75,8 +85,11 @@ __all__ = [
     "faults_spec",
     "fused_fleet_enabled",
     "metrics_enabled",
+    "route_queues",
     "settings",
     "signature_cache_enabled",
+    "sla_ack_windows",
+    "sla_resolve_windows",
     "store_dir",
     "stream_agg_enabled",
     "vector_spatial_enabled",
@@ -95,6 +108,9 @@ STREAM_AGG_ENV_VAR = "REPRO_STREAM_AGG"
 WARM_REFIT_ENV_VAR = "REPRO_WARM_REFIT"
 DRIFT_GATE_ENV_VAR = "REPRO_DRIFT_GATE"
 FUSED_FLEET_ENV_VAR = "REPRO_FUSED_FLEET"
+ROUTE_QUEUES_ENV_VAR = "REPRO_ROUTE_QUEUES"
+SLA_ACK_ENV_VAR = "REPRO_SLA_ACK_WINDOWS"
+SLA_RESOLVE_ENV_VAR = "REPRO_SLA_RESOLVE_WINDOWS"
 
 #: The one spelling of "disabled" every boolean gate accepts.
 _FALSY = frozenset({"0", "false", "off", "no"})
@@ -180,6 +196,29 @@ def fused_fleet_enabled() -> bool:
     return _flag(FUSED_FLEET_ENV_VAR)
 
 
+def _int_env(name: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    value = _int_or_error(name, raw) if raw else default
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def route_queues() -> int:
+    """Default responder-queue count of the ops loop (``REPRO_ROUTE_QUEUES``)."""
+    return _int_env(ROUTE_QUEUES_ENV_VAR, default=2, minimum=1)
+
+
+def sla_ack_windows() -> int:
+    """Default ack deadline in ticketing windows (``REPRO_SLA_ACK_WINDOWS``)."""
+    return _int_env(SLA_ACK_ENV_VAR, default=1, minimum=0)
+
+
+def sla_resolve_windows() -> int:
+    """Default resolve deadline in windows (``REPRO_SLA_RESOLVE_WINDOWS``)."""
+    return _int_env(SLA_RESOLVE_ENV_VAR, default=4, minimum=0)
+
+
 @dataclass(frozen=True)
 class RuntimeSettings:
     """One validated snapshot of every runtime gate."""
@@ -196,6 +235,9 @@ class RuntimeSettings:
     warm_refit: bool
     drift_gate: bool
     fused_fleet: bool
+    route_queues: int
+    sla_ack_windows: int
+    sla_resolve_windows: int
 
 
 def settings() -> RuntimeSettings:
@@ -218,4 +260,7 @@ def settings() -> RuntimeSettings:
         warm_refit=warm_refit_enabled(),
         drift_gate=drift_gate_enabled(),
         fused_fleet=fused_fleet_enabled(),
+        route_queues=route_queues(),
+        sla_ack_windows=sla_ack_windows(),
+        sla_resolve_windows=sla_resolve_windows(),
     )

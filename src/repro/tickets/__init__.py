@@ -9,6 +9,11 @@ characterization study:
 * :mod:`repro.tickets.monitor` — ticket extraction and counting.
 * :mod:`repro.tickets.characterization` — Fig. 2 (ticket distribution,
   culprit VMs) and Fig. 3 (spatial-correlation CDFs).
+* :mod:`repro.tickets.incidents` — correlated tickets grouped into
+  triageable incidents.
+* :mod:`repro.tickets.ops` — the operations loop (scoring, routing, SLA
+  clocks, evidence bundles); imported on demand, not re-exported here,
+  since it pulls in the executor/store substrate.
 """
 
 from repro.tickets.costs import CostBreakdown, TicketCostModel

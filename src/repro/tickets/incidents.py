@@ -81,10 +81,14 @@ def group_incidents(
     for record in ordered[1:]:
         if record.window - last_window <= max_gap_windows:
             bucket.append(record)
+            last_window = max(last_window, record.window)
         else:
             incidents.append(_finish(bucket))
             bucket = [record]
-        last_window = max(last_window, record.window)
+            # Reset the linkage anchor on new-bucket start: carrying the
+            # previous incident's max across the boundary only happened to
+            # work because records are pre-sorted.
+            last_window = record.window
     incidents.append(_finish(bucket))
     return incidents
 
@@ -120,7 +124,9 @@ def fleet_incident_stats(
     Returns a dict with total tickets, total incidents, the deduplication
     ratio (tickets per incident — how much triage the correlation structure
     saves or costs), and the share of incidents touching multiple VMs (the
-    paper's root-cause-difficulty indicator).
+    paper's root-cause-difficulty indicator).  On a ticket-free fleet the
+    two ratios are ``None`` (JSON ``null``) rather than ``float("nan")``:
+    the dict feeds serialized reports, and NaN is not a standard JSON token.
     """
     total_tickets = 0
     total_incidents = 0
@@ -134,9 +140,9 @@ def fleet_incident_stats(
         "tickets": total_tickets,
         "incidents": total_incidents,
         "tickets_per_incident": (
-            total_tickets / total_incidents if total_incidents else float("nan")
+            total_tickets / total_incidents if total_incidents else None
         ),
         "spatial_incident_share": (
-            spatial_incidents / total_incidents if total_incidents else float("nan")
+            spatial_incidents / total_incidents if total_incidents else None
         ),
     }

@@ -92,7 +92,10 @@ def tickets_for_box(
     records: List[TicketRecord] = []
     for resource in resources or (Resource.CPU, Resource.RAM):
         usage = box.usage_matrix(resource)
-        hits = np.argwhere(usage > policy.threshold_pct)
+        # Derive hits from the one indicator implementation (Eq. 6) rather
+        # than re-stating the comparison inline, so threshold semantics
+        # live in a single place.
+        hits = np.argwhere(ticket_matrix(usage, policy))
         for vm_idx, window in hits:
             records.append(
                 TicketRecord(

@@ -1,0 +1,70 @@
+"""Assignment: map ranked incidents onto responder queues.
+
+An assignment policy decides *who* works an incident once scoring has
+decided *what matters most*.  Policies are frozen dataclasses (swappable,
+fingerprintable) and purely deterministic — the same ranked incidents
+always land on the same queues, which is what makes the fleet-level
+assignment digest bit-identical across worker counts.
+
+Two strategies cover the realistic shapes:
+
+* ``round_robin`` — deal incidents to queues in score order, so load is
+  balanced and the highest-priority incidents spread across responders
+  rather than piling onto queue 0.
+* ``sticky`` — hash the box id onto a queue, so one box's incidents
+  always reach the same responder (ownership beats balance: the
+  recurrence context that drives the score lives with one person).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.tickets.incidents import Incident
+
+__all__ = ["ASSIGN_STRATEGIES", "AssignPolicy"]
+
+#: The registered strategies, in documentation order.
+ASSIGN_STRATEGIES = ("round_robin", "sticky")
+
+
+@dataclass(frozen=True)
+class AssignPolicy:
+    """Deterministic incident → queue mapping.
+
+    Attributes
+    ----------
+    n_queues:
+        Number of responder queues the fleet routes into.
+    strategy:
+        ``round_robin`` (deal by score rank) or ``sticky`` (hash the box
+        id, one box = one queue).
+    """
+
+    n_queues: int = 2
+    strategy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.n_queues < 1:
+            raise ValueError(f"n_queues must be positive, got {self.n_queues}")
+        if self.strategy not in ASSIGN_STRATEGIES:
+            raise ValueError(
+                f"unknown assignment strategy {self.strategy!r}; "
+                f"expected one of {ASSIGN_STRATEGIES}"
+            )
+
+    def assign(self, ranked: Sequence[Incident]) -> List[int]:
+        """Queue index for each incident of ``ranked`` (score order).
+
+        Stable and deterministic: round-robin depends only on rank,
+        sticky only on the box id's BLAKE2b hash.
+        """
+        if self.strategy == "round_robin":
+            return [rank % self.n_queues for rank in range(len(ranked))]
+        return [self._sticky_queue(incident.box_id) for incident in ranked]
+
+    def _sticky_queue(self, box_id: str) -> int:
+        digest = hashlib.blake2b(box_id.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.n_queues

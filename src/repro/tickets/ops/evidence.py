@@ -1,0 +1,207 @@
+"""Per-incident evidence bundles, served from the artifact store.
+
+An operator opening an incident needs to see *why it fired*: the ticket
+records, the usage context around the incident's windows, the policy that
+tripped, and — when an ATM run produced them — the forecast and resize
+decisions that were (or were not) in force.  An :class:`EvidenceBundle`
+packages exactly that, and persists through :mod:`repro.store` under its
+own content-addressed stage:
+
+* the **data fingerprint** hashes the usage context slice the bundle
+  explains (a poisoned or different trace can never serve the bundle),
+* the **config fingerprint** canonicalizes the ops configuration plus the
+  incident's identity (box, span, chronological index),
+
+so a resumed run replays byte-identical bundles from disk, and a bundle
+is resolvable later by reconstructing its key from the same inputs —
+no side index required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.store import (
+    ArtifactKey,
+    config_fingerprint,
+    data_fingerprint,
+    register_codec,
+)
+from repro.tickets.monitor import TicketRecord
+from repro.tickets.ops.route import RoutedIncident, SlaClock
+from repro.trace.model import BoxTrace, Resource
+
+__all__ = [
+    "EVIDENCE_STAGE",
+    "EvidenceBundle",
+    "build_evidence",
+    "evidence_key",
+]
+
+#: Artifact-store stage name of evidence bundles.
+EVIDENCE_STAGE = "evidence"
+
+
+@dataclass(frozen=True)
+class EvidenceBundle:
+    """Everything that explains one routed incident.
+
+    ``usage_context`` is the box's full ``(2M, W)`` usage slice over
+    ``[context_lo, context_hi)`` — the incident's windows plus the
+    surrounding context — in :meth:`BoxTrace.usage_matrix` row order.
+    ``predicted`` / ``allocations`` are optional: populated when the ops
+    run rides on an ATM run whose forecast and resize decisions explain
+    why the tickets fired anyway (or were averted), absent in pure
+    monitoring runs.
+    """
+
+    box_id: str
+    start_window: int
+    end_window: int
+    rank: int
+    score: float
+    queue: int
+    clock: SlaClock
+    threshold_pct: float
+    records: Tuple[TicketRecord, ...]
+    context_lo: int
+    context_hi: int
+    usage_context: np.ndarray
+    predicted: Optional[np.ndarray] = None
+    allocations: Optional[np.ndarray] = None
+
+    @property
+    def n_tickets(self) -> int:
+        return len(self.records)
+
+
+def evidence_key(usage_context: np.ndarray, config, box_id: str,
+                 start_window: int, end_window: int, index: int) -> ArtifactKey:
+    """Content address of one incident's evidence bundle.
+
+    ``config`` is the governing :class:`~repro.tickets.ops.pipeline.OpsConfig`;
+    ``index`` the incident's chronological index on its box (distinct
+    incidents with identical spans — different resources, say — must not
+    collide).
+    """
+    return ArtifactKey(
+        stage=EVIDENCE_STAGE,
+        data_fp=data_fingerprint(usage_context),
+        config_fp=config_fingerprint(
+            {
+                "config": config,
+                "box_id": box_id,
+                "span": [start_window, end_window],
+                "index": index,
+            }
+        ),
+    )
+
+
+def build_evidence(
+    box: BoxTrace,
+    routed: RoutedIncident,
+    threshold_pct: float,
+    context_windows: int,
+    predicted: Optional[np.ndarray] = None,
+    allocations: Optional[np.ndarray] = None,
+) -> EvidenceBundle:
+    """Assemble the evidence bundle for one routed incident on ``box``."""
+    incident = routed.incident
+    lo = max(0, incident.start_window - context_windows)
+    hi = min(box.n_windows, incident.end_window + context_windows + 1)
+    usage = np.ascontiguousarray(box.usage_matrix()[:, lo:hi], dtype=float)
+    return EvidenceBundle(
+        box_id=box.box_id,
+        start_window=incident.start_window,
+        end_window=incident.end_window,
+        rank=routed.rank,
+        score=routed.score,
+        queue=routed.queue,
+        clock=routed.clock,
+        threshold_pct=threshold_pct,
+        records=incident.tickets,
+        context_lo=lo,
+        context_hi=hi,
+        usage_context=usage,
+        predicted=None if predicted is None else np.asarray(predicted, dtype=float),
+        allocations=(
+            None if allocations is None else np.asarray(allocations, dtype=float)
+        ),
+    )
+
+
+# ----------------------------------------------------------------- codec
+def _encode_record(record: TicketRecord) -> dict:
+    return {
+        "box_id": record.box_id,
+        "vm_id": record.vm_id,
+        "resource": record.resource.value,
+        "window": int(record.window),
+        "usage_pct": float(record.usage_pct),
+    }
+
+
+def _decode_record(raw: dict) -> TicketRecord:
+    return TicketRecord(
+        box_id=str(raw["box_id"]),
+        vm_id=str(raw["vm_id"]),
+        resource=Resource(raw["resource"]),
+        window=int(raw["window"]),
+        usage_pct=float(raw["usage_pct"]),
+    )
+
+
+def _encode_evidence(bundle: EvidenceBundle):
+    arrays = {"usage_context": np.asarray(bundle.usage_context, dtype=float)}
+    if bundle.predicted is not None:
+        arrays["predicted"] = np.asarray(bundle.predicted, dtype=float)
+    if bundle.allocations is not None:
+        arrays["allocations"] = np.asarray(bundle.allocations, dtype=float)
+    meta = {
+        "box_id": bundle.box_id,
+        "start_window": int(bundle.start_window),
+        "end_window": int(bundle.end_window),
+        "rank": int(bundle.rank),
+        "score": float(bundle.score),
+        "queue": int(bundle.queue),
+        "clock": bundle.clock.to_dict(),
+        "threshold_pct": float(bundle.threshold_pct),
+        "records": [_encode_record(r) for r in bundle.records],
+        "context_lo": int(bundle.context_lo),
+        "context_hi": int(bundle.context_hi),
+    }
+    return arrays, meta
+
+
+def _decode_evidence(arrays, meta) -> EvidenceBundle:
+    return EvidenceBundle(
+        box_id=str(meta["box_id"]),
+        start_window=int(meta["start_window"]),
+        end_window=int(meta["end_window"]),
+        rank=int(meta["rank"]),
+        score=float(meta["score"]),
+        queue=int(meta["queue"]),
+        clock=SlaClock.from_dict(meta["clock"]),
+        threshold_pct=float(meta["threshold_pct"]),
+        records=tuple(_decode_record(r) for r in meta["records"]),
+        context_lo=int(meta["context_lo"]),
+        context_hi=int(meta["context_hi"]),
+        usage_context=np.array(arrays["usage_context"], dtype=float),
+        predicted=(
+            np.array(arrays["predicted"], dtype=float)
+            if "predicted" in arrays
+            else None
+        ),
+        allocations=(
+            np.array(arrays["allocations"], dtype=float)
+            if "allocations" in arrays
+            else None
+        ),
+    )
+
+
+register_codec(EVIDENCE_STAGE, _encode_evidence, _decode_evidence)

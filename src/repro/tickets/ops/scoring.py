@@ -1,0 +1,92 @@
+"""Incident scoring: rank open incidents for triage.
+
+The paper's Fig. 1 motivation is that correlated ticket storms make root
+causes *hard to find*; an operations queue therefore needs an ordering —
+which incident does a responder open first?  The policy here composes the
+three signals the ROADMAP names, as a weighted product so any zeroed
+weight removes a factor without collapsing the score to zero:
+
+* **severity** — how far past the threshold the incident's tickets went
+  (mean relative overshoot of its ticket usages over ``threshold_pct``);
+* **recurrence** — how many incidents the same box already produced
+  before this one (chronic boxes float upward, matching the per-incident
+  labor economics of :mod:`repro.tickets.costs`: repeat offenders are
+  where triage time goes);
+* **box criticality** — the box's co-location level (VM count): the more
+  tenants share the box, the wider the blast radius of the event.
+
+Every component is normalized to ``>= 1`` so the product is monotone in
+each raw signal and a weight of ``0`` neutralizes its factor exactly.
+:class:`ScoringPolicy` is a frozen dataclass, so it fingerprints through
+:func:`repro.store.config_fingerprint` like every other policy object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tickets.incidents import Incident
+from repro.tickets.policy import TicketPolicy
+
+__all__ = ["ScoringPolicy", "incident_severity"]
+
+
+def incident_severity(incident: Incident, policy: TicketPolicy) -> float:
+    """Mean relative overshoot of the incident's tickets (``>= 1.0``).
+
+    ``1.0`` means the tickets barely crossed the threshold; ``2.0`` means
+    their usage averaged twice the threshold.
+    """
+    overshoot = [
+        max(0.0, ticket.usage_pct - policy.threshold_pct)
+        for ticket in incident.tickets
+    ]
+    mean = sum(overshoot) / len(overshoot) if overshoot else 0.0
+    return 1.0 + mean / policy.threshold_pct
+
+
+@dataclass(frozen=True)
+class ScoringPolicy:
+    """Weighted-product triage score: severity × recurrence × criticality.
+
+    Attributes
+    ----------
+    severity_weight, recurrence_weight, criticality_weight:
+        Exponents of the three factors.  ``0`` removes a factor (its
+        component is normalized to ``>= 1``, so ``x ** 0 == 1``).
+    """
+
+    severity_weight: float = 1.0
+    recurrence_weight: float = 0.5
+    criticality_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("severity_weight", "recurrence_weight", "criticality_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def score(
+        self,
+        incident: Incident,
+        policy: TicketPolicy,
+        prior_incidents: int,
+        n_vms: int,
+    ) -> float:
+        """Triage priority of one incident (higher = route first).
+
+        ``prior_incidents`` is the count of incidents the box produced
+        before this one (chronological index); ``n_vms`` the box's
+        co-location level.
+        """
+        if prior_incidents < 0:
+            raise ValueError("prior_incidents must be non-negative")
+        if n_vms < 1:
+            raise ValueError("n_vms must be positive")
+        severity = incident_severity(incident, policy)
+        recurrence = 1.0 + float(prior_incidents)
+        criticality = float(n_vms)
+        return (
+            severity**self.severity_weight
+            * recurrence**self.recurrence_weight
+            * criticality**self.criticality_weight
+        )

@@ -22,6 +22,9 @@ def _clean_env(monkeypatch):
         runtime.WARM_REFIT_ENV_VAR,
         runtime.DRIFT_GATE_ENV_VAR,
         runtime.FUSED_FLEET_ENV_VAR,
+        runtime.ROUTE_QUEUES_ENV_VAR,
+        runtime.SLA_ACK_ENV_VAR,
+        runtime.SLA_RESOLVE_ENV_VAR,
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -82,6 +85,34 @@ class TestIntegers:
         with pytest.raises(ValueError, match="REPRO_FAULTS_SEED must be an integer"):
             runtime.faults_seed()
 
+    def test_ops_knob_defaults(self):
+        assert runtime.route_queues() == 2
+        assert runtime.sla_ack_windows() == 1
+        assert runtime.sla_resolve_windows() == 4
+
+    def test_ops_knob_values(self, monkeypatch):
+        monkeypatch.setenv(runtime.ROUTE_QUEUES_ENV_VAR, " 5 ")
+        monkeypatch.setenv(runtime.SLA_ACK_ENV_VAR, "0")
+        monkeypatch.setenv(runtime.SLA_RESOLVE_ENV_VAR, "12")
+        assert runtime.route_queues() == 5
+        assert runtime.sla_ack_windows() == 0
+        assert runtime.sla_resolve_windows() == 12
+
+    def test_ops_knob_minimums_enforced(self, monkeypatch):
+        monkeypatch.setenv(runtime.ROUTE_QUEUES_ENV_VAR, "0")
+        with pytest.raises(ValueError, match="REPRO_ROUTE_QUEUES must be >= 1"):
+            runtime.route_queues()
+        monkeypatch.setenv(runtime.SLA_ACK_ENV_VAR, "-1")
+        with pytest.raises(ValueError, match="REPRO_SLA_ACK_WINDOWS must be >= 0"):
+            runtime.sla_ack_windows()
+
+    def test_ops_knob_invalid_integer(self, monkeypatch):
+        monkeypatch.setenv(runtime.SLA_RESOLVE_ENV_VAR, "soon")
+        with pytest.raises(
+            ValueError, match="REPRO_SLA_RESOLVE_WINDOWS must be an integer"
+        ):
+            runtime.sla_resolve_windows()
+
 
 class TestStrings:
     def test_store_dir_unset(self):
@@ -108,6 +139,8 @@ class TestSettings:
         assert s.faults_spec == "slow:p=1.0" and s.faults_seed == 0
         assert s.store_dir == "/tmp/s"
         assert not s.warm_refit and s.drift_gate
+        assert s.route_queues == 2
+        assert s.sla_ack_windows == 1 and s.sla_resolve_windows == 4
 
 
 class TestLegacyConstantsAgree:

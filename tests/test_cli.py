@@ -58,6 +58,56 @@ class TestCommands:
         assert "MediaWiki testbed" in out
         assert "wiki-two" in out
 
+    def test_tickets(self, capsys):
+        assert main(["tickets", "--boxes", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ticket operations" in out
+        assert "Routing" in out
+        assert "assignment digest" in out
+        assert "evidence digest" in out
+
+    def test_tickets_strategy_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tickets", "--strategy", "lottery"])
+
+    def test_tickets_serial_parallel_digests_match(self, capsys):
+        assert main(["tickets", "--boxes", "6", "--seed", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["tickets", "--boxes", "6", "--seed", "3", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def digests(out):
+            return [
+                line for line in out.splitlines() if "digest" in line
+            ]
+
+        assert digests(serial) == digests(parallel)
+
+    def test_tickets_env_knobs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUTE_QUEUES", "3")
+        assert main(["tickets", "--boxes", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queues" in out
+
+    def test_tickets_resume_round_trip(self, tmp_path, capsys, monkeypatch):
+        from repro.store import STORE_ENV_VAR, clear_memory_tiers
+
+        store = tmp_path / "store"
+        # --store installs REPRO_STORE process-wide (workers inherit it);
+        # scope it to this test so later tests run store-free.
+        monkeypatch.setenv(STORE_ENV_VAR, str(store))
+        clear_memory_tiers()
+        argv = [
+            "tickets", "--boxes", "5", "--seed", "3", "--store", str(store)
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        digest_lines = [l for l in first.splitlines() if "digest" in l]
+        assert digest_lines == [l for l in resumed.splitlines() if "digest" in l]
+        clear_memory_tiers()
+
 
 class TestJobsFlag:
     def test_jobs_flag_parsed(self):
@@ -115,6 +165,45 @@ class TestMetricsJson:
         for stat in data["spans"].values():
             assert set(stat) == {"count", "total_s", "max_s"}
             assert stat["count"] >= 1
+
+    def test_metrics_written_when_command_raises(self, tmp_path, capsys):
+        # Regression: the snapshot used to be written only on clean return,
+        # so a failing run left no metrics on disk — exactly the run whose
+        # counters are worth inspecting.  The write now lives in a
+        # ``finally`` block.
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        with pytest.raises(FileNotFoundError):
+            main(
+                [
+                    "resize",
+                    "--input", str(tmp_path / "does-not-exist.csv"),
+                    "--metrics-json", str(path),
+                ]
+            )
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["schema"] == obs.METRICS_SCHEMA
+
+    def test_tickets_metrics_counters(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["tickets", "--boxes", "6", "--seed", "3",
+             "--metrics-json", str(path)]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        counters = data["counters"]
+        assert counters["ops.boxes"] == 6
+        assert "sla.breaches" in counters
+        assert "route.assignments" in counters
+        assert "sla.open_incidents" in data["gauges"]
+        assert "ops.fleet" in data["spans"]
 
     def test_predict_reports_degraded_boxes(self, tmp_path, capsys, monkeypatch):
         # One injected primary-fit failure: the command still exits 0, the

@@ -39,6 +39,38 @@ class TestCostModel:
         model = TicketCostModel(0.0, 0.0, 0.0)
         assert np.isnan(model.savings(0, 0).savings_percent)
 
+    def test_savings_percent_nan_on_zero_cost_baseline(self):
+        # A ticket-free "before" period has no baseline to save against,
+        # even when the "after" period spends money on actuations.
+        model = TicketCostModel(cost_per_ticket=10.0,
+                                triage_cost_per_ticketed_day=5.0,
+                                cost_per_resize_action=1.0)
+        breakdown = model.savings(tickets_before=0, tickets_after=0,
+                                  resize_actions=7)
+        assert breakdown.cost_before == 0.0
+        assert breakdown.net_savings == pytest.approx(-7.0)
+        assert np.isnan(breakdown.savings_percent)
+
+    def test_resize_actions_billed_only_after(self):
+        # Asymmetry pin: actuations are a cost of running ATM, so they hit
+        # the "after" side only — never the status-quo baseline.
+        model = TicketCostModel(cost_per_ticket=10.0,
+                                triage_cost_per_ticketed_day=0.0,
+                                cost_per_resize_action=2.0)
+        breakdown = model.savings(tickets_before=3, tickets_after=3,
+                                  resize_actions=5)
+        assert breakdown.cost_before == pytest.approx(30.0)
+        assert breakdown.cost_after == pytest.approx(30.0 + 10.0)
+        assert breakdown.net_savings == pytest.approx(-10.0)
+
+    def test_breakdown_roundtrip_fields(self):
+        breakdown = CostBreakdown(
+            cost_before=100.0, cost_after=40.0, tickets_avoided=2,
+            resize_actions=1,
+        )
+        assert breakdown.net_savings == pytest.approx(60.0)
+        assert breakdown.savings_percent == pytest.approx(60.0)
+
     def test_actuation_cost_can_outweigh_small_gains(self):
         model = TicketCostModel(cost_per_ticket=1.0, triage_cost_per_ticketed_day=0.0,
                                 cost_per_resize_action=10.0)

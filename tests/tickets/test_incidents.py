@@ -63,6 +63,72 @@ class TestGroupIncidents:
         incidents = group_incidents([record(9), record(1), record(2)])
         assert len(incidents) == 2
 
+    def test_gap_anchor_resets_on_new_incident(self):
+        # Regression: the linkage anchor (``last_window``) used to carry
+        # across incident boundaries, so after a split every following
+        # record was measured against the *previous* incident's windows
+        # and got spuriously split off.
+        incidents = group_incidents([record(0), record(10), record(11)])
+        assert len(incidents) == 2
+        assert incidents[1].start_window == 10
+        assert incidents[1].n_tickets == 2
+
+    def test_duplicate_window_multi_vm_after_split(self):
+        # Two VMs ticketing in the same window after a gap must land in
+        # one spatial incident, not one incident per record.
+        records = [
+            record(0, vm="a"),
+            record(5, vm="a"),
+            record(5, vm="b"),
+        ]
+        incidents = group_incidents(records)
+        assert len(incidents) == 2
+        assert incidents[1].n_vms == 2
+        assert incidents[1].is_spatial
+
+    def test_duplicate_window_multi_resource_after_split(self):
+        records = [
+            record(0),
+            record(7, resource=Resource.CPU),
+            record(7, resource=Resource.RAM),
+        ]
+        incidents = group_incidents(records)
+        assert len(incidents) == 2
+        assert incidents[1].resources == (Resource.CPU, Resource.RAM)
+
+    def test_zero_gap_strict_adjacency(self):
+        # max_gap_windows=0 merges only same-window records; every window
+        # stands alone, including duplicate-window pairs after a split.
+        records = [record(3, vm="a"), record(3, vm="b"),
+                   record(4, vm="a"), record(4, vm="b")]
+        incidents = group_incidents(records, max_gap_windows=0)
+        assert len(incidents) == 2
+        assert [i.n_tickets for i in incidents] == [2, 2]
+        assert all(i.n_vms == 2 for i in incidents)
+
+    def test_shuffle_invariance(self):
+        # Property: grouping sorts internally, so any input permutation
+        # yields the same incident structure.
+        base = [
+            record(w, vm=vm, resource=res)
+            for w in (0, 1, 5, 6, 6, 12)
+            for vm in ("a", "b")
+            for res in (Resource.CPU, Resource.RAM)
+        ]
+        reference = group_incidents(base)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            shuffled = list(base)
+            rng.shuffle(shuffled)
+            incidents = group_incidents(shuffled)
+            assert len(incidents) == len(reference)
+            assert [i.n_tickets for i in incidents] == [
+                i.n_tickets for i in reference
+            ]
+            assert [(i.start_window, i.end_window) for i in incidents] == [
+                (i.start_window, i.end_window) for i in reference
+            ]
+
 
 class TestBoxAndFleet:
     @pytest.fixture()
@@ -104,4 +170,10 @@ class TestBoxAndFleet:
         )
         stats = fleet_incident_stats(FleetTrace([calm]), TicketPolicy(60.0))
         assert stats["incidents"] == 0
-        assert np.isnan(stats["tickets_per_incident"])
+        # Undefined ratios are None (JSON null), not NaN — ``json.dumps``
+        # used to emit the non-standard literal ``NaN`` here.
+        assert stats["tickets_per_incident"] is None
+        assert stats["spatial_incident_share"] is None
+        import json
+
+        assert "NaN" not in json.dumps(stats)

@@ -91,3 +91,32 @@ class TestBoxHelpers:
         low = tickets_for_box(box, TicketPolicy(60.0))
         high = tickets_for_box(box, TicketPolicy(80.0))
         assert len(high) < len(low)
+
+    def test_records_pin_ticket_matrix_semantics(self, box):
+        # Pin: record extraction must route through ticket_matrix, the one
+        # indicator implementation — it used to restate the comparison
+        # inline, which let the two paths drift.
+        policy = TicketPolicy(60.0)
+        for resource in (Resource.CPU, Resource.RAM):
+            usage = box.usage_matrix(resource)
+            expected = {
+                (box.vms[i].vm_id, int(t))
+                for i, t in np.argwhere(ticket_matrix(usage, policy))
+            }
+            got = {
+                (r.vm_id, r.window)
+                for r in tickets_for_box(box, policy, resources=[resource])
+            }
+            assert got == expected
+
+    def test_threshold_boundary_not_ticketed(self):
+        # Exact-threshold usage is NOT a ticket (strict >, Eq. 6); the
+        # record path must agree with the matrix path on the boundary.
+        vm = VMTrace(
+            "edge", 4.0, 8.0,
+            cpu_usage=np.array([60.0, 60.0001]),
+            ram_usage=np.array([0.0, 0.0]),
+        )
+        boundary_box = BoxTrace("b1", 10.0, 20.0, [vm])
+        records = tickets_for_box(boundary_box, TicketPolicy(60.0))
+        assert [(r.window, r.usage_pct) for r in records] == [(1, 60.0001)]
