@@ -76,6 +76,7 @@ def _run_one_scale(n_boxes: int, jobs, seed: int = 20160628) -> dict:
         obs.record_peak_rss()
         snap = obs.metrics_snapshot()
         return {
+            "scenario": "paper-fig2",
             "boxes": n_boxes,
             "vms": manifest.n_vms,
             "store_bytes": manifest.total_bytes,

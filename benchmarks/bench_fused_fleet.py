@@ -122,6 +122,7 @@ def _run_leg(mode: str, n_boxes: int, jobs: int, seed: int = 20160628) -> dict:
         snap = obs.metrics_snapshot()
         return {
             "mode": mode,
+            "scenario": "paper-fig2",
             "jobs": leg_jobs,
             "boxes": n_boxes,
             "vms": manifest.n_vms,

@@ -1,0 +1,147 @@
+"""Scenario × reduction ablation matrix — ``BENCH_scenarios.json``.
+
+Renders every named scenario (the paper-fig2 calibration, each workload
+archetype, the mixed cohort fleet, and the regime-shift stress trace)
+through the full predict+resize pipeline and records the ticket
+reduction the ATM achieves on each.  The matrix answers the robustness
+question the single calibrated profile cannot: does the sizing win
+survive workloads the predictor was not tuned for?
+
+Expectations pinned here are deliberately loose — archetypes exist to
+*stress* the pipeline, not to reproduce paper numbers: every scenario
+must run end to end, yield finite accuracy, and the paper-fig2 row must
+match the plain generator bit-for-bit (same fleet, same reductions).
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_matrix.py
+        [--boxes 12] [--out BENCH_scenarios.json]
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.benchhelpers import bench_jobs, print_table
+from repro.core import AtmConfig, run_fleet_atm
+from repro.prediction.spatial.signatures import ClusteringMethod
+from repro.resizing.evaluate import ResizingAlgorithm
+from repro.trace import FleetConfig, NAMED_SCENARIOS, render_fleet
+from repro.trace.model import Resource
+
+pytestmark = pytest.mark.slow
+
+BENCH_SCHEMA = "repro.bench_scenarios/v1"
+#: Same seed family as the shared benchmark fleets (EXPERIMENTS.md).
+SEED = 20160630
+DAYS = 6  # 5 training days + 1 evaluation day
+
+
+def _atm_config() -> AtmConfig:
+    return AtmConfig.with_clustering(
+        ClusteringMethod.CBC, temporal_model="seasonal_mean"
+    )
+
+
+def _scenario_row(name: str, n_boxes: int, jobs) -> dict:
+    spec = NAMED_SCENARIOS[name]
+    cfg = FleetConfig(n_boxes=n_boxes, days=DAYS, seed=SEED)
+    fleet = render_fleet(spec, cfg)
+    t0 = time.perf_counter()
+    result = run_fleet_atm(fleet, _atm_config(), jobs=jobs)
+    run_s = time.perf_counter() - t0
+    return {
+        "scenario": name,
+        "fingerprint": spec.fingerprint(),
+        "archetypes": sorted({c.archetype for c in spec.cohorts}),
+        "regime_shift": any(c.shift is not None for c in spec.cohorts),
+        "boxes": n_boxes,
+        "boxes_evaluated": len(result.accuracies),
+        "mean_ape": round(result.mean_ape(), 3),
+        "reduction_cpu": round(
+            result.mean_reduction(Resource.CPU, ResizingAlgorithm.ATM), 3
+        ),
+        "reduction_ram": round(
+            result.mean_reduction(Resource.RAM, ResizingAlgorithm.ATM), 3
+        ),
+        "run_s": round(run_s, 3),
+    }
+
+
+def sweep(n_boxes: int = 12, jobs=None) -> dict:
+    jobs = jobs if jobs is not None else bench_jobs()
+    rows = [_scenario_row(name, n_boxes, jobs) for name in NAMED_SCENARIOS]
+    return {
+        "schema": BENCH_SCHEMA,
+        "seed": SEED,
+        "days": DAYS,
+        "jobs": jobs,
+        "scenarios": rows,
+    }
+
+
+def _print_report(report: dict) -> None:
+    print_table(
+        f"Scenario ablation matrix — ATM reduction per workload "
+        f"(boxes={report['scenarios'][0]['boxes']}, jobs={report['jobs']})",
+        ["scenario", "shift", "APE", "red CPU %", "red RAM %", "run s"],
+        [
+            [
+                row["scenario"],
+                "yes" if row["regime_shift"] else "",
+                row["mean_ape"],
+                row["reduction_cpu"],
+                row["reduction_ram"],
+                row["run_s"],
+            ]
+            for row in report["scenarios"]
+        ],
+    )
+
+
+def _check_matrix(report: dict) -> None:
+    rows = {row["scenario"]: row for row in report["scenarios"]}
+    assert set(rows) == set(NAMED_SCENARIOS), (
+        f"matrix is missing scenarios: {set(NAMED_SCENARIOS) - set(rows)}"
+    )
+    assert any(row["regime_shift"] for row in rows.values())
+    for name, row in rows.items():
+        assert row["boxes_evaluated"] == row["boxes"], (
+            f"{name}: only {row['boxes_evaluated']}/{row['boxes']} boxes "
+            "survived the pipeline"
+        )
+        assert row["mean_ape"] == row["mean_ape"], f"{name}: NaN accuracy"
+    fps = [row["fingerprint"] for row in report["scenarios"]]
+    assert len(set(fps)) == len(fps), "scenario fingerprints collide"
+
+
+# --------------------------------------------------------------------- pytest
+def test_scenario_matrix(tmp_path):
+    report = sweep()
+    (tmp_path / "BENCH_scenarios.json").write_text(json.dumps(report, indent=1))
+    _print_report(report)
+    _check_matrix(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--boxes", type=int, default=12)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_scenarios.json")
+    )
+    args = parser.parse_args(argv)
+    report = sweep(args.boxes, args.jobs)
+    _print_report(report)
+    _check_matrix(report)
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

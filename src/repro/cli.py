@@ -41,6 +41,7 @@ from repro.trace import (
     generate_fleet,
     load_fleet_csv,
     load_fleet_shards,
+    resolve_scenario,
     save_fleet_csv,
     shard_fleet_csv,
 )
@@ -49,13 +50,18 @@ from repro.trace.model import Resource
 __all__ = ["main", "build_parser"]
 
 
+def _scenario_from_args(args: argparse.Namespace):
+    """Resolve ``--scenario`` (falling back to $REPRO_SCENARIO) to a spec."""
+    return resolve_scenario(getattr(args, "scenario", None))
+
+
 def _fleet_from_args(args: argparse.Namespace):
     if getattr(args, "shards", None):
         return load_fleet_shards(args.shards)
     if getattr(args, "input", None):
         return load_fleet_csv(args.input)
     config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
-    return generate_fleet(config)
+    return generate_fleet(config, scenario=_scenario_from_args(args))
 
 
 def _print_degradations(report) -> None:
@@ -231,12 +237,20 @@ def _cmd_tickets(args: argparse.Namespace) -> int:
         if args.resolve_windows is not None
         else runtime.sla_resolve_windows()
     )
+    atm = None
+    if args.atm_evidence:
+        if not runtime.store_dir():
+            raise SystemExit("--atm-evidence requires --store or $REPRO_STORE")
+        atm = AtmConfig.with_clustering(
+            ClusteringMethod(args.method), temporal_model=args.temporal
+        )
     config = OpsConfig(
         policy=TicketPolicy(threshold_pct=args.threshold),
         max_gap_windows=args.max_gap,
         scoring=ScoringPolicy(),
         assign=AssignPolicy(n_queues=queues, strategy=args.strategy),
         sla=SlaPolicy(ack_windows=ack, resolve_windows=resolve),
+        atm=atm,
     )
     result = run_fleet_ops(fleet, config, jobs=args.jobs, resume=resume)
     ack_min, resolve_min = config.sla.deadlines_minutes(config.policy)
@@ -322,7 +336,7 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
-    fleet = generate_fleet(config)
+    fleet = generate_fleet(config, scenario=_scenario_from_args(args))
     save_fleet_csv(fleet, args.output)
     print(
         f"wrote {args.output}: {fleet.n_boxes} boxes, {fleet.n_vms} VMs, "
@@ -341,10 +355,17 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         # store can exceed RAM even at build time.  --jobs fans generation
         # across processes; the resulting store is byte-identical.
         config = FleetConfig(n_boxes=args.boxes, days=args.days, seed=args.seed)
-        manifest = generate_fleet_shards(config, args.output, jobs=args.jobs)
+        manifest = generate_fleet_shards(
+            config, args.output, jobs=args.jobs,
+            scenario=_scenario_from_args(args),
+        )
+    scenario_note = ""
+    if manifest.scenario is not None:
+        scenario_note = f" [scenario {manifest.scenario['name']}]"
     print(
         f"wrote shard store {args.output}: {manifest.n_boxes} boxes, "
         f"{manifest.n_vms} VMs, {manifest.total_bytes / 1e6:.1f} MB"
+        f"{scenario_note}"
     )
     return 0
 
@@ -362,6 +383,18 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser, days: int) -> None:
         help="open a memory-mapped shard store (see the `shard` command) "
         "instead of generating or loading a fleet; workers map per-box "
         "slices, nothing is materialized in RAM",
+    )
+    _add_scenario_argument(parser)
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", type=str, default=None, metavar="NAME|SPEC.json",
+        help="trace scenario to render the synthetic fleet under: a named "
+        "scenario (see repro.trace.NAMED_SCENARIOS, e.g. paper-fig2, "
+        "web-diurnal, batch, spiky, ramp, weekend-heavy, mixed, "
+        "regime-shift) or a path to a ScenarioSpec JSON file "
+        "(default: $REPRO_SCENARIO or paper-fig2, the calibrated profile)",
     )
 
 
@@ -512,6 +545,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLA resolve deadline in ticketing windows "
         "(default: $REPRO_SLA_RESOLVE_WINDOWS or 4)",
     )
+    tickets.add_argument(
+        "--atm-evidence", action="store_true", dest="atm_evidence",
+        help="attach the forecast and resize allocations a prior `predict` "
+        "run materialized in the artifact store to each in-horizon "
+        "incident's evidence bundle (requires --store or $REPRO_STORE; "
+        "--method/--temporal must match the predict run)",
+    )
+    tickets.add_argument(
+        "--method",
+        choices=[m.value for m in ClusteringMethod],
+        default="cbc",
+        help="signature clustering method of the ATM run --atm-evidence reads",
+    )
+    tickets.add_argument(
+        "--temporal",
+        choices=list(available_temporal_models()),
+        default="neural",
+        help="temporal model of the ATM run --atm-evidence reads",
+    )
     tickets.set_defaults(func=_cmd_tickets)
 
     testbed = sub.add_parser("testbed", help="simulated MediaWiki experiment")
@@ -524,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--boxes", type=int, default=20)
     generate.add_argument("--days", type=int, default=7)
     generate.add_argument("--seed", type=int, default=20160628)
+    _add_scenario_argument(generate)
     generate.set_defaults(func=_cmd_generate)
 
     shard = sub.add_parser(
@@ -543,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         "or 1 = serial; 0 = all cores); the store is byte-identical at any "
         "worker count",
     )
+    _add_scenario_argument(shard)
     shard.set_defaults(func=_cmd_shard)
 
     return parser

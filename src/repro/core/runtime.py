@@ -43,6 +43,11 @@ Variable                    Default    Meaning
 ``REPRO_ROUTE_QUEUES``      ``2``      Responder queues the ticket-operations
                                        loop routes incidents into (CLI
                                        ``tickets --queues`` overrides).
+``REPRO_SCENARIO``          unset      Default trace scenario (a name from
+                                       :data:`repro.trace.NAMED_SCENARIOS`
+                                       or a JSON spec path); CLI
+                                       ``--scenario`` overrides.  Unset means
+                                       the calibrated ``paper-fig2`` profile.
 ``REPRO_SLA_ACK_WINDOWS``   ``1``      Ack deadline of the incident SLA clock,
                                        in ticketing windows.
 ``REPRO_SLA_RESOLVE_WINDOWS`` ``4``    Resolve deadline of the incident SLA
@@ -70,6 +75,7 @@ __all__ = [
     "JOBS_ENV_VAR",
     "METRICS_ENV_VAR",
     "ROUTE_QUEUES_ENV_VAR",
+    "SCENARIO_ENV_VAR",
     "SIGNATURE_CACHE_ENV_VAR",
     "SLA_ACK_ENV_VAR",
     "SLA_RESOLVE_ENV_VAR",
@@ -86,6 +92,7 @@ __all__ = [
     "fused_fleet_enabled",
     "metrics_enabled",
     "route_queues",
+    "scenario_name",
     "settings",
     "signature_cache_enabled",
     "sla_ack_windows",
@@ -109,6 +116,7 @@ WARM_REFIT_ENV_VAR = "REPRO_WARM_REFIT"
 DRIFT_GATE_ENV_VAR = "REPRO_DRIFT_GATE"
 FUSED_FLEET_ENV_VAR = "REPRO_FUSED_FLEET"
 ROUTE_QUEUES_ENV_VAR = "REPRO_ROUTE_QUEUES"
+SCENARIO_ENV_VAR = "REPRO_SCENARIO"
 SLA_ACK_ENV_VAR = "REPRO_SLA_ACK_WINDOWS"
 SLA_RESOLVE_ENV_VAR = "REPRO_SLA_RESOLVE_WINDOWS"
 
@@ -204,6 +212,17 @@ def _int_env(name: str, default: int, minimum: int) -> int:
     return value
 
 
+def scenario_name() -> Optional[str]:
+    """Default trace scenario (``REPRO_SCENARIO``); ``None`` when unset.
+
+    Resolution to a :class:`repro.trace.ScenarioSpec` happens in
+    :func:`repro.trace.resolve_scenario`; this accessor only owns the
+    environment read so the variable appears in :func:`settings`.
+    """
+    raw = os.environ.get(SCENARIO_ENV_VAR, "").strip()
+    return raw or None
+
+
 def route_queues() -> int:
     """Default responder-queue count of the ops loop (``REPRO_ROUTE_QUEUES``)."""
     return _int_env(ROUTE_QUEUES_ENV_VAR, default=2, minimum=1)
@@ -238,6 +257,7 @@ class RuntimeSettings:
     route_queues: int
     sla_ack_windows: int
     sla_resolve_windows: int
+    scenario: Optional[str]
 
 
 def settings() -> RuntimeSettings:
@@ -263,4 +283,5 @@ def settings() -> RuntimeSettings:
         route_queues=route_queues(),
         sla_ack_windows=sla_ack_windows(),
         sla_resolve_windows=sla_resolve_windows(),
+        scenario=scenario_name(),
     )

@@ -147,16 +147,24 @@ STAGES: Tuple[Stage, ...] = (
 
 # ------------------------------------------------------------------- keys
 def box_fingerprint(box: BoxTrace) -> str:
-    """Content fingerprint of everything a run reads from one box."""
-    return config_fingerprint(
-        {
-            "box_id": box.box_id,
-            "interval_minutes": box.interval_minutes,
-            "capacity": {r.value: box.capacity(r) for r in Resource},
-            "allocations": {r.value: box.allocations(r) for r in Resource},
-            "demands": box.demand_matrix(),
-        }
-    )
+    """Content fingerprint of everything a run reads from one box.
+
+    A rendered scenario's fingerprint is folded in when present, so two
+    scenarios sharing a fleet seed can never collide in the store; legacy
+    boxes (``scenario_fp`` unset/None) hash exactly as before, keeping
+    pre-scenario artifacts addressable.
+    """
+    payload = {
+        "box_id": box.box_id,
+        "interval_minutes": box.interval_minutes,
+        "capacity": {r.value: box.capacity(r) for r in Resource},
+        "allocations": {r.value: box.allocations(r) for r in Resource},
+        "demands": box.demand_matrix(),
+    }
+    scenario_fp = getattr(box, "scenario_fp", None)
+    if scenario_fp:
+        payload["scenario"] = scenario_fp
+    return config_fingerprint(payload)
 
 
 def forecast_key(train_demands: np.ndarray, config: AtmConfig) -> ArtifactKey:

@@ -99,6 +99,9 @@ class BoxShardMeta:
     vm_ram_capacities: Tuple[float, ...]
     n_windows: int
     interval_minutes: int
+    #: Scenario fingerprint of the rendering spec (or external-trace hash);
+    #: ``None`` for legacy stores and the identity ``paper-fig2`` profile.
+    scenario_fp: Optional[str] = None
 
     @property
     def n_vms(self) -> int:
@@ -111,6 +114,7 @@ class BoxShardMeta:
 
     @staticmethod
     def from_dict(raw: dict) -> "BoxShardMeta":
+        scenario_fp = raw.get("scenario_fp")
         return BoxShardMeta(
             box_id=str(raw["box_id"]),
             fingerprint=str(raw["fingerprint"]),
@@ -122,6 +126,7 @@ class BoxShardMeta:
             vm_ram_capacities=tuple(float(v) for v in raw["vm_ram_capacities"]),
             n_windows=int(raw["n_windows"]),
             interval_minutes=int(raw["interval_minutes"]),
+            scenario_fp=None if scenario_fp is None else str(scenario_fp),
         )
 
 
@@ -160,6 +165,11 @@ class ShardManifest:
     name: str
     boxes: List[BoxShardMeta]
     schema: str = SHARDS_SCHEMA
+    #: Scenario provenance (``{"name": ..., "fingerprint": ...}``) when the
+    #: store was rendered from a non-identity :class:`ScenarioSpec` or an
+    #: external cluster trace; absent from legacy / paper-fig2 manifests so
+    #: their bytes are unchanged.
+    scenario: Optional[dict] = None
 
     @property
     def n_boxes(self) -> int:
@@ -177,11 +187,21 @@ class ShardManifest:
         """Atomically write the manifest under ``root``."""
         root = Path(root)
         root.mkdir(parents=True, exist_ok=True)
+        boxes = []
+        for meta in self.boxes:
+            raw = asdict(meta)
+            # Legacy manifests predate scenario_fp; dropping the None key
+            # keeps pre-scenario stores byte-identical on rewrite.
+            if raw.get("scenario_fp") is None:
+                raw.pop("scenario_fp", None)
+            boxes.append(raw)
         payload = {
             "schema": self.schema,
             "name": self.name,
-            "boxes": [asdict(meta) for meta in self.boxes],
+            "boxes": boxes,
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
         target = root / MANIFEST_NAME
         fd, tmp_name = tempfile.mkstemp(dir=root, prefix=".tmp-", suffix=".json")
         try:
@@ -212,6 +232,7 @@ class ShardManifest:
         return ShardManifest(
             name=str(payload.get("name", "sharded")),
             boxes=[BoxShardMeta.from_dict(raw) for raw in payload["boxes"]],
+            scenario=payload.get("scenario"),
         )
 
 
@@ -260,6 +281,7 @@ def write_box_shard(box: BoxTrace, root: Union[str, Path]) -> BoxShardMeta:
         vm_ram_capacities=tuple(float(vm.ram_capacity) for vm in box.vms),
         n_windows=box.n_windows,
         interval_minutes=box.interval_minutes,
+        scenario_fp=getattr(box, "scenario_fp", None),
     )
 
 
@@ -267,17 +289,20 @@ def write_fleet_shards(
     boxes: Union[FleetTrace, Iterable[BoxTrace]],
     root: Union[str, Path],
     name: Optional[str] = None,
+    scenario: Optional[dict] = None,
 ) -> ShardManifest:
     """Shard a fleet (or any box iterable) under ``root`` and write the manifest.
 
     Accepts a *generator* of boxes, which is the fleet-scale entry point:
     each box is written and dropped before the next is produced, so a
-    6,000-box store is built with one box of peak memory.
+    6,000-box store is built with one box of peak memory.  ``scenario``
+    records rendering provenance in the manifest (omitted for legacy /
+    identity stores so their bytes do not change).
     """
     if name is None:
         name = boxes.name if isinstance(boxes, FleetTrace) else "sharded"
     metas = [write_box_shard(box, root) for box in boxes]
-    manifest = ShardManifest(name=name, boxes=metas)
+    manifest = ShardManifest(name=name, boxes=metas, scenario=scenario)
     manifest.save(root)
     return manifest
 
@@ -295,12 +320,26 @@ def _generate_box_shard(index: int, cfg, root: str) -> BoxShardMeta:
     return write_box_shard(generate_box(index, cfg), root)
 
 
+def _render_box_shard(index: int, cfg, spec, root: str) -> BoxShardMeta:
+    """Pool-worker unit of parallel *scenario* generation.
+
+    Same contract as :func:`_generate_box_shard`, but the box is rendered
+    through a :class:`ScenarioSpec` — cohort envelopes and regime shifts
+    derive from ``(cfg.seed, index)`` and the spec alone, so parallel and
+    serial scenario stores are byte-identical too.
+    """
+    from repro.trace.scenario import render_box
+
+    return write_box_shard(render_box(index, spec, cfg), root)
+
+
 def generate_fleet_shards(
     cfg,
     root: Union[str, Path],
     name: str = "synthetic",
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
+    scenario=None,
 ) -> ShardManifest:
     """Generate a synthetic fleet straight into a shard store.
 
@@ -317,23 +356,45 @@ def generate_fleet_shards(
     ``REPRO_JOBS``; default serial).  Results are collected in box-index
     order and every shard is content-addressed, so the manifest — and
     every byte of the store — is identical at any worker count.
+
+    ``scenario`` (a :class:`repro.trace.scenario.ScenarioSpec`) renders
+    boxes through the scenario engine instead of the raw generator; the
+    identity ``paper-fig2`` spec takes the exact legacy path, so its
+    store stays bit-identical to a pre-scenario one.
     """
     from repro.core.executor import FleetExecutor, resolve_jobs
     from repro.trace.generator import check_generation_allowed, generate_box
 
     check_generation_allowed()
+    identity = scenario is None or scenario.is_identity
+    if identity:
+        manifest_scenario = None
+    else:
+        manifest_scenario = {
+            "name": scenario.name,
+            "fingerprint": scenario.fingerprint(),
+        }
     if resolve_jobs(jobs) <= 1:
-        return write_fleet_shards(
-            (generate_box(index, cfg) for index in range(cfg.n_boxes)),
-            root,
-            name=name,
-        )
+        if identity:
+            boxes = (generate_box(index, cfg) for index in range(cfg.n_boxes))
+        else:
+            from repro.trace.scenario import render_box
+
+            boxes = (
+                render_box(index, scenario, cfg) for index in range(cfg.n_boxes)
+            )
+        return write_fleet_shards(boxes, root, name=name, scenario=manifest_scenario)
     executor = FleetExecutor(jobs=jobs, chunksize=chunksize)
     with obs.span("shards.generate"):
-        metas = executor.map(
-            _generate_box_shard, range(cfg.n_boxes), cfg, str(root)
-        )
-    manifest = ShardManifest(name=name, boxes=metas)
+        if identity:
+            metas = executor.map(
+                _generate_box_shard, range(cfg.n_boxes), cfg, str(root)
+            )
+        else:
+            metas = executor.map(
+                _render_box_shard, range(cfg.n_boxes), cfg, scenario, str(root)
+            )
+    manifest = ShardManifest(name=name, boxes=metas, scenario=manifest_scenario)
     manifest.save(root)
     return manifest
 
@@ -379,6 +440,10 @@ def _view_box(meta: BoxShardMeta, matrix: np.ndarray) -> BoxTrace:
     box.ram_capacity = meta.ram_capacity
     box.vms = vms
     box.interval_minutes = meta.interval_minutes
+    # object.__new__ bypasses dataclass defaults, so the scenario key must
+    # be set explicitly or views of scenario stores would alias identity
+    # artifacts in the store.
+    box.scenario_fp = meta.scenario_fp
     return box
 
 
@@ -485,6 +550,11 @@ class ShardedFleet:
         }
 
     # ----------------------------------------------------------- dispatch
+    @property
+    def scenario(self) -> Optional[dict]:
+        """Scenario provenance recorded at write time (None for legacy stores)."""
+        return self.manifest.scenario
+
     def box_refs(self) -> List[BoxShardRef]:
         """Per-box descriptors for zero-pickle worker dispatch."""
         root = str(self.root)
@@ -520,9 +590,13 @@ class ShardedFleet:
                         for vm in view.vms
                     ],
                     interval_minutes=view.interval_minutes,
+                    scenario_fp=view.scenario_fp,
                 )
             )
-        return FleetTrace(boxes=boxes, name=self.name)
+        fleet_fp = None
+        if self.manifest.scenario is not None:
+            fleet_fp = self.manifest.scenario.get("fingerprint")
+        return FleetTrace(boxes=boxes, name=self.name, scenario_fp=fleet_fp)
 
 
 def load_fleet_shards(root: Union[str, Path]) -> ShardedFleet:

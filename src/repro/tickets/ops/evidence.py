@@ -79,25 +79,29 @@ class EvidenceBundle:
 
 
 def evidence_key(usage_context: np.ndarray, config, box_id: str,
-                 start_window: int, end_window: int, index: int) -> ArtifactKey:
+                 start_window: int, end_window: int, index: int,
+                 forecast_fp: Optional[str] = None) -> ArtifactKey:
     """Content address of one incident's evidence bundle.
 
     ``config`` is the governing :class:`~repro.tickets.ops.pipeline.OpsConfig`;
     ``index`` the incident's chronological index on its box (distinct
     incidents with identical spans — different resources, say — must not
-    collide).
+    collide).  ``forecast_fp`` identifies the ATM box-result artifact whose
+    forecast/allocations ride in the bundle; folded in only when present,
+    so forecast-free bundles keep their historical keys.
     """
+    payload = {
+        "config": config,
+        "box_id": box_id,
+        "span": [start_window, end_window],
+        "index": index,
+    }
+    if forecast_fp is not None:
+        payload["forecast_fp"] = forecast_fp
     return ArtifactKey(
         stage=EVIDENCE_STAGE,
         data_fp=data_fingerprint(usage_context),
-        config_fp=config_fingerprint(
-            {
-                "config": config,
-                "box_id": box_id,
-                "span": [start_window, end_window],
-                "index": index,
-            }
-        ),
+        config_fp=config_fingerprint(payload),
     )
 
 

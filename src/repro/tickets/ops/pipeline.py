@@ -39,6 +39,8 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro import obs
 from repro.core.executor import FleetExecutor
 from repro.core.streaming import fleet_results
@@ -53,6 +55,7 @@ from repro.tickets.policy import DEFAULT_POLICY, TicketPolicy
 from repro.trace.model import FleetTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import AtmConfig
     from repro.store.shards import ShardedFleet
 
 __all__ = [
@@ -90,6 +93,13 @@ class OpsConfig:
     #: Usage windows of context captured on each side of an incident in
     #: its evidence bundle.
     context_windows: int = 4
+    #: When set, :func:`run_box_ops` probes the persistent store for this
+    #: ATM configuration's ``box_result`` artifact (a prior ``predict``
+    #: run against the same store) and attaches its forecast and resize
+    #: allocations to the evidence bundles of incidents inside the
+    #: forecast horizon.  ``None`` (the default) keeps bundles and keys
+    #: exactly as before.
+    atm: Optional["AtmConfig"] = None
 
     def __post_init__(self) -> None:
         if self.max_gap_windows < 0:
@@ -201,6 +211,39 @@ def _box_ops_key(box, config: OpsConfig) -> ArtifactKey:
     )
 
 
+def _probe_forecast_evidence(box, atm, store):
+    """Fetch one box's stored ATM outcome for evidence attachment.
+
+    Returns ``(predicted, allocations, forecast_fp)`` — the ``(2M, H)``
+    forecast matrix and ``(2M,)`` allocation vector stacked CPU-then-RAM
+    (the :meth:`BoxTrace.usage_matrix` row order evidence bundles use) —
+    or ``(None, None, None)`` when no complete artifact is materialized.
+    Ops runs never *compute* forecasts; they only explain incidents with
+    whatever a prior ATM run already persisted.
+    """
+    from repro.core.stages import box_result_key
+    from repro.trace.model import Resource
+
+    key = box_result_key(box, atm)
+    cached = store.get(key, memory=False)
+    if cached is None:
+        return None, None, None
+    result, _events = cached
+    if result is None:
+        return None, None, None
+    resources = (Resource.CPU, Resource.RAM)
+    if any(
+        r not in result.predicted or r not in result.allocations
+        for r in resources
+    ):
+        return None, None, None
+    predicted = np.vstack([np.asarray(result.predicted[r], float) for r in resources])
+    allocations = np.concatenate(
+        [np.asarray(result.allocations[r], float).ravel() for r in resources]
+    )
+    return predicted, allocations, f"{key.data_fp}:{key.config_fp}"
+
+
 def run_box_ops(box, config: OpsConfig, resume: bool = False) -> BoxOpsResult:
     """The per-box unit of work; module-level so pool workers can pickle it.
 
@@ -222,6 +265,18 @@ def run_box_ops(box, config: OpsConfig, resume: bool = False) -> BoxOpsResult:
             obs.inc("ops.resume.hits")
             _record_box_metrics(cached)
             return cached
+
+    predicted = allocations = forecast_fp = None
+    if config.atm is not None and store.persistent:
+        predicted, allocations, forecast_fp = _probe_forecast_evidence(
+            box, config.atm, store
+        )
+    # Windows the stored forecast actually covers: incidents outside the
+    # horizon get forecast-free bundles (the forecast says nothing there).
+    forecast_lo = forecast_hi = -1
+    if predicted is not None:
+        forecast_lo = config.atm.training_windows
+        forecast_hi = forecast_lo + predicted.shape[1]
 
     with obs.span("ops.box_run"):
         records = tickets_for_box(box, config.policy)
@@ -262,8 +317,20 @@ def run_box_ops(box, config: OpsConfig, resume: bool = False) -> BoxOpsResult:
                     resolve_breached=item.clock.resolve_breached,
                 )
             )
+            in_horizon = (
+                predicted is not None
+                and item.incident.end_window >= forecast_lo
+                and item.incident.start_window < forecast_hi
+            )
+            if in_horizon:
+                obs.inc("ops.evidence.forecasts")
             bundle = build_evidence(
-                box, item, config.policy.threshold_pct, config.context_windows
+                box,
+                item,
+                config.policy.threshold_pct,
+                config.context_windows,
+                predicted=predicted if in_horizon else None,
+                allocations=allocations if in_horizon else None,
             )
             ev_key = evidence_key(
                 bundle.usage_context,
@@ -272,6 +339,7 @@ def run_box_ops(box, config: OpsConfig, resume: bool = False) -> BoxOpsResult:
                 item.incident.start_window,
                 item.incident.end_window,
                 chrono_index[id(item.incident)],
+                forecast_fp=forecast_fp if in_horizon else None,
             )
             if store.persistent:
                 store.put(ev_key, bundle, memory=False)

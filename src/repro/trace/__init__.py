@@ -13,10 +13,12 @@ can be analyzed with the identical pipeline.
 
 from repro.trace.generator import FleetConfig, generate_box, generate_fleet
 from repro.trace.loader import (
+    load_cluster_csv,
     load_fleet_csv,
     load_fleet_shards,
     save_fleet_csv,
     save_fleet_shards,
+    shard_cluster_csv,
     shard_fleet_csv,
 )
 from repro.trace.model import (
@@ -26,19 +28,41 @@ from repro.trace.model import (
     SeriesKey,
     VMTrace,
 )
+from repro.trace.scenario import (
+    ARCHETYPES,
+    NAMED_SCENARIOS,
+    CohortSpec,
+    RegimeShift,
+    RenderSpec,
+    ScenarioSpec,
+    render_box,
+    render_fleet,
+    resolve_scenario,
+)
 
 __all__ = [
+    "ARCHETYPES",
     "BoxTrace",
+    "CohortSpec",
     "FleetConfig",
     "FleetTrace",
+    "NAMED_SCENARIOS",
+    "RegimeShift",
+    "RenderSpec",
     "Resource",
+    "ScenarioSpec",
     "SeriesKey",
     "VMTrace",
     "generate_box",
     "generate_fleet",
+    "load_cluster_csv",
     "load_fleet_csv",
     "load_fleet_shards",
+    "render_box",
+    "render_fleet",
+    "resolve_scenario",
     "save_fleet_csv",
     "save_fleet_shards",
+    "shard_cluster_csv",
     "shard_fleet_csv",
 ]

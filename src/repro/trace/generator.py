@@ -456,9 +456,25 @@ def generate_box(
     return box
 
 
-def generate_fleet(cfg: Optional[FleetConfig] = None, name: str = "synthetic") -> FleetTrace:
-    """Generate a full fleet trace from a :class:`FleetConfig`."""
+def generate_fleet(
+    cfg: Optional[FleetConfig] = None,
+    name: str = "synthetic",
+    scenario=None,
+) -> FleetTrace:
+    """Generate a full fleet trace from a :class:`FleetConfig`.
+
+    ``scenario`` (a :class:`repro.trace.scenario.ScenarioSpec`) renders
+    the fleet through the scenario engine; ``None`` — or the identity
+    ``paper-fig2`` spec — takes the legacy calibrated path below, bit for
+    bit.
+    """
     check_generation_allowed()
     cfg = cfg or FleetConfig()
+    if scenario is not None and not scenario.is_identity:
+        from repro.trace.scenario import render_fleet
+
+        return render_fleet(
+            scenario, cfg, name=scenario.name if name == "synthetic" else name
+        )
     boxes = [generate_box(b, cfg) for b in range(cfg.n_boxes)]
     return FleetTrace(boxes=boxes, name=name)

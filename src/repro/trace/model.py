@@ -178,6 +178,12 @@ class BoxTrace:
     ram_capacity: float
     vms: List[VMTrace]
     interval_minutes: int = 15
+    #: Fingerprint of the :class:`repro.trace.scenario.ScenarioSpec` that
+    #: rendered this box (``None`` for the calibrated legacy profile and
+    #: for traces predating the scenario engine).  Folded into
+    #: :func:`repro.core.stages.box_fingerprint` so two scenarios sharing
+    #: a fleet seed never share store artifacts.
+    scenario_fp: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.vms:
@@ -265,6 +271,7 @@ class BoxTrace:
             ram_capacity=self.ram_capacity,
             vms=[slice_vm(vm, 0, train_windows) for vm in self.vms],
             interval_minutes=self.interval_minutes,
+            scenario_fp=self.scenario_fp,
         )
         tail = BoxTrace(
             box_id=self.box_id,
@@ -272,6 +279,7 @@ class BoxTrace:
             ram_capacity=self.ram_capacity,
             vms=[slice_vm(vm, train_windows, self.n_windows) for vm in self.vms],
             interval_minutes=self.interval_minutes,
+            scenario_fp=self.scenario_fp,
         )
         return head, tail
 
@@ -282,6 +290,8 @@ class FleetTrace:
 
     boxes: List[BoxTrace]
     name: str = "fleet"
+    #: Scenario fingerprint shared by every box (``None`` = legacy profile).
+    scenario_fp: Optional[str] = None
 
     def __post_init__(self) -> None:
         if _materialization_forbidden():

@@ -30,6 +30,8 @@ __all__ = [
     "random_walk",
     "level_shifts",
     "alternating_load",
+    "linear_ramp",
+    "weekly",
 ]
 
 
@@ -181,6 +183,45 @@ def level_shifts(
     for point in points:
         shifts[point:] += rng.normal(0.0, magnitude)
     return shifts
+
+
+def linear_ramp(
+    n_windows: int,
+    start: float = 1.0,
+    stop: float = 1.0,
+) -> np.ndarray:
+    """Return a deterministic linear ramp from ``start`` to ``stop``.
+
+    Models slow organic growth (or decay) of a service's load over the
+    trace — the "slow ramp" workload archetype.  With one window the ramp
+    degenerates to ``start``.
+    """
+    if n_windows <= 0:
+        raise ValueError("n_windows must be positive")
+    if n_windows == 1:
+        return np.array([float(start)])
+    return np.linspace(float(start), float(stop), n_windows)
+
+
+def weekly(
+    n_windows: int,
+    windows_per_day: int,
+    weekend_days: "tuple[int, ...]" = (5, 6),
+    start_day: int = 0,
+) -> np.ndarray:
+    """Return a 0/1 mask that is 1 on weekend days and 0 on weekdays.
+
+    ``start_day`` is the day-of-week index (0 = Monday) of the trace's
+    first day; days in ``weekend_days`` (default Saturday/Sunday) are
+    flagged.  The mask is what lets a weekend-heavy archetype modulate
+    its load on a weekly period the purely daily primitives cannot express.
+    """
+    if n_windows <= 0 or windows_per_day <= 0:
+        raise ValueError("n_windows and windows_per_day must be positive")
+    if not all(0 <= d < 7 for d in weekend_days):
+        raise ValueError(f"weekend_days must be in [0, 7), got {weekend_days!r}")
+    day_of_week = (np.arange(n_windows) // windows_per_day + start_day) % 7
+    return np.isin(day_of_week, np.asarray(weekend_days)).astype(float)
 
 
 def alternating_load(

@@ -89,6 +89,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "3 queues" in out
 
+    def test_scenario_flag(self, capsys):
+        assert main(
+            ["characterize", "--boxes", "4", "--seed", "3", "--scenario", "spiky"]
+        ) == 0
+        spiky = capsys.readouterr().out
+        assert main(["characterize", "--boxes", "4", "--seed", "3"]) == 0
+        assert spiky != capsys.readouterr().out
+
+    def test_scenario_paper_fig2_is_default(self, capsys):
+        argv = ["characterize", "--boxes", "4", "--seed", "3"]
+        assert main(argv + ["--scenario", "paper-fig2"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(argv) == 0
+        assert explicit == capsys.readouterr().out
+
+    def test_scenario_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="paper-fig2"):
+            main(["characterize", "--boxes", "4", "--scenario", "nope"])
+
+    def test_tickets_atm_evidence_requires_store(self):
+        with pytest.raises(SystemExit, match="store"):
+            main(["tickets", "--boxes", "4", "--seed", "3", "--atm-evidence"])
+
+    def test_tickets_atm_evidence(self, tmp_path, capsys, monkeypatch):
+        from repro.store import STORE_ENV_VAR, clear_memory_tiers
+
+        store = tmp_path / "store"
+        monkeypatch.setenv(STORE_ENV_VAR, str(store))
+        clear_memory_tiers()
+        assert main(
+            [
+                "tickets", "--boxes", "4", "--seed", "3", "--days", "6",
+                "--store", str(store), "--atm-evidence",
+                "--temporal", "seasonal_mean",
+            ]
+        ) == 0
+        assert "Ticket operations" in capsys.readouterr().out
+        clear_memory_tiers()
+
     def test_tickets_resume_round_trip(self, tmp_path, capsys, monkeypatch):
         from repro.store import STORE_ENV_VAR, clear_memory_tiers
 

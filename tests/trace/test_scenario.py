@@ -1,0 +1,302 @@
+"""Scenario engine: truth/render split, identity pin, regime splices."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.store.shards import generate_fleet_shards
+from repro.trace import (
+    ARCHETYPES,
+    NAMED_SCENARIOS,
+    CohortSpec,
+    FleetConfig,
+    RegimeShift,
+    RenderSpec,
+    ScenarioSpec,
+    generate_fleet,
+    render_box,
+    render_fleet,
+    resolve_scenario,
+)
+from repro.trace.generator import generate_box
+from repro.trace.model import FORBID_GENERATION_ENV_VAR
+from repro.trace.scenario import (
+    PAPER_ARCHETYPE,
+    SCENARIO_ENV_VAR,
+    _cohort_of,
+    _switch_window,
+)
+
+SMALL = FleetConfig(n_boxes=4, days=2, seed=20160628)
+
+#: Fleet digest of the calibrated profile at SMALL — the bit-identity pin:
+#: the scenario refactor must never change what the legacy generator (and
+#: therefore the default ``paper-fig2`` scenario) produces.
+PAPER_FIG2_DIGEST = "cf28e23545b78942cf8193e4153439bca60a883a"
+
+
+def _fleet_digest(fleet) -> str:
+    h = hashlib.blake2b(digest_size=20)
+    for box in fleet.boxes:
+        h.update(box.box_id.encode())
+        h.update(np.ascontiguousarray(box.usage_matrix(), dtype=np.float64).tobytes())
+        h.update(np.float64(box.cpu_capacity).tobytes())
+        h.update(np.float64(box.ram_capacity).tobytes())
+    return h.hexdigest()
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(SCENARIO_ENV_VAR, raising=False)
+    monkeypatch.delenv(FORBID_GENERATION_ENV_VAR, raising=False)
+
+
+class TestIdentityPin:
+    def test_paper_fig2_is_bit_identical_to_legacy_generator(self):
+        legacy = generate_fleet(SMALL)
+        assert _fleet_digest(legacy) == PAPER_FIG2_DIGEST
+        rendered = render_fleet(NAMED_SCENARIOS[PAPER_ARCHETYPE], SMALL)
+        assert _fleet_digest(rendered) == PAPER_FIG2_DIGEST
+
+    def test_identity_spec_leaves_scenario_fp_unset(self):
+        fleet = render_fleet(NAMED_SCENARIOS[PAPER_ARCHETYPE], SMALL)
+        assert fleet.scenario_fp is None
+        assert all(box.scenario_fp is None for box in fleet.boxes)
+
+    def test_generate_fleet_scenario_kwarg_identity(self):
+        via_kwarg = generate_fleet(
+            SMALL, scenario=NAMED_SCENARIOS[PAPER_ARCHETYPE]
+        )
+        assert _fleet_digest(via_kwarg) == PAPER_FIG2_DIGEST
+
+    def test_is_identity_property(self):
+        assert NAMED_SCENARIOS[PAPER_ARCHETYPE].is_identity
+        assert not NAMED_SCENARIOS["spiky"].is_identity
+        assert not ScenarioSpec(
+            "noisy", render=RenderSpec(noise_scale=2.0)
+        ).is_identity
+
+
+class TestArchetypes:
+    def test_every_archetype_renders_valid_traces(self):
+        for name in ARCHETYPES:
+            fleet = render_fleet(
+                ScenarioSpec(name, (CohortSpec(name),)), SMALL
+            )
+            for box in fleet.boxes:
+                matrix = box.usage_matrix()
+                assert np.all(np.isfinite(matrix))
+                assert matrix.min() >= 0.0
+                assert matrix.max() <= 400.0
+
+    def test_non_identity_scenarios_differ_from_paper(self):
+        paper = _fleet_digest(generate_fleet(SMALL))
+        for name in ARCHETYPES:
+            if name == PAPER_ARCHETYPE:
+                continue
+            fleet = render_fleet(ScenarioSpec(name, (CohortSpec(name),)), SMALL)
+            assert _fleet_digest(fleet) != paper, name
+
+    def test_rendering_is_deterministic(self):
+        spec = NAMED_SCENARIOS["mixed"]
+        assert _fleet_digest(render_fleet(spec, SMALL)) == _fleet_digest(
+            render_fleet(spec, SMALL)
+        )
+
+    def test_archetype_preserves_vm_identities_and_capacities(self):
+        """Overrides + envelopes must not perturb who the VMs are.
+
+        VM ids and VM capacities are drawn before any override-affected
+        draw, so every archetype agrees on them; box capacity folds a
+        headroom draw made *after* the usage series, so it may differ.
+        """
+        legacy = generate_box(1, SMALL)
+        for name in ARCHETYPES:
+            spec = ScenarioSpec(name, (CohortSpec(name),))
+            box = render_box(1, spec, SMALL)
+            assert [vm.vm_id for vm in box.vms] == [vm.vm_id for vm in legacy.vms]
+            assert [vm.cpu_capacity for vm in box.vms] == [
+                vm.cpu_capacity for vm in legacy.vms
+            ]
+            assert [vm.ram_capacity for vm in box.vms] == [
+                vm.ram_capacity for vm in legacy.vms
+            ]
+
+
+class TestRegimeShift:
+    def test_splice_preserves_identity_and_pre_segment(self):
+        spec = ScenarioSpec(
+            "s",
+            (CohortSpec("web-diurnal", shift=RegimeShift("spiky", at_fraction=0.5)),),
+        )
+        pure_pre = render_box(0, ScenarioSpec("p", (CohortSpec("web-diurnal"),)), SMALL)
+        shifted = render_box(0, spec, SMALL)
+        switch = _switch_window(SMALL, spec.cohorts[0].shift, 0)
+        assert switch == SMALL.n_windows // 2
+        assert [vm.vm_id for vm in shifted.vms] == [vm.vm_id for vm in pure_pre.vms]
+        for vm_pre, vm_shift in zip(pure_pre.vms, shifted.vms):
+            # Before the switch the shifted box IS the pre-archetype box.
+            assert np.array_equal(
+                vm_pre.cpu_usage[:switch], vm_shift.cpu_usage[:switch]
+            )
+            # After it, the workload changed.
+        post_equal = all(
+            np.array_equal(a.cpu_usage[switch:], b.cpu_usage[switch:])
+            for a, b in zip(pure_pre.vms, shifted.vms)
+        )
+        assert not post_equal
+
+    def test_seeded_switch_window_in_band_and_reproducible(self):
+        shift = RegimeShift("spiky")
+        w1 = _switch_window(SMALL, shift, 0)
+        w2 = _switch_window(SMALL, shift, 0)
+        assert w1 == w2
+        assert 0.35 * SMALL.n_windows <= w1 <= 0.65 * SMALL.n_windows
+        # Different cohorts draw different windows from the same seed.
+        other = _switch_window(SMALL, shift, 1)
+        assert 1 <= other <= SMALL.n_windows - 1
+
+    def test_bad_shift_rejected(self):
+        with pytest.raises(ValueError, match="unknown shift archetype"):
+            RegimeShift("nope")
+        with pytest.raises(ValueError, match="at_fraction"):
+            RegimeShift("spiky", at_fraction=1.5)
+
+
+class TestCohorts:
+    def test_striping_covers_fleet_proportionally(self):
+        spec = NAMED_SCENARIOS["mixed"]  # weights 2:1:1
+        n = 8
+        cfg = FleetConfig(n_boxes=n, days=1, seed=1)
+        assigned = [_cohort_of(spec, b, n)[1].archetype for b in range(n)]
+        assert assigned == (
+            ["web-diurnal"] * 4 + ["batch"] * 2 + ["spiky"] * 2
+        )
+        fleet = render_fleet(spec, cfg)
+        assert fleet.n_boxes == n
+
+    def test_out_of_range_box_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            _cohort_of(NAMED_SCENARIOS["mixed"], 99, 8)
+
+    def test_bad_cohort_rejected(self):
+        with pytest.raises(ValueError, match="unknown archetype"):
+            CohortSpec("nope")
+        with pytest.raises(ValueError, match="weight"):
+            CohortSpec("spiky", weight=0.0)
+
+
+class TestFingerprints:
+    def test_all_named_scenarios_fingerprint_uniquely(self):
+        fps = {name: spec.fingerprint() for name, spec in NAMED_SCENARIOS.items()}
+        assert len(set(fps.values())) == len(fps)
+
+    def test_fingerprint_stable_across_json_round_trip(self, tmp_path):
+        for spec in NAMED_SCENARIOS.values():
+            path = spec.to_json(tmp_path / f"{spec.name}.json")
+            assert ScenarioSpec.from_json(path).fingerprint() == spec.fingerprint()
+
+    def test_render_changes_fingerprint(self):
+        base = ScenarioSpec("x", (CohortSpec("spiky"),))
+        noisy = ScenarioSpec(
+            "x", (CohortSpec("spiky"),), render=RenderSpec(noise_scale=2.0)
+        )
+        assert base.fingerprint() != noisy.fingerprint()
+
+
+class TestResolveScenario:
+    def test_none_defaults_to_identity(self):
+        assert resolve_scenario(None).is_identity
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(SCENARIO_ENV_VAR, "spiky")
+        assert resolve_scenario(None).name == "spiky"
+
+    def test_named_and_spec_path(self, tmp_path):
+        assert resolve_scenario("mixed") is NAMED_SCENARIOS["mixed"]
+        path = NAMED_SCENARIOS["regime-shift"].to_json(tmp_path / "spec.json")
+        assert (
+            resolve_scenario(str(path)).fingerprint()
+            == NAMED_SCENARIOS["regime-shift"].fingerprint()
+        )
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="paper-fig2"):
+            resolve_scenario("nope")
+
+    def test_missing_spec_file(self):
+        with pytest.raises(ValueError, match="not found"):
+            resolve_scenario("/no/such/spec.json")
+
+
+class TestRenderSpec:
+    def test_capacity_spread_zero_homogenizes_headroom(self):
+        spec = ScenarioSpec(
+            "flat",
+            (CohortSpec(PAPER_ARCHETYPE),),
+            render=RenderSpec(capacity_spread=0.0),
+        )
+        fleet = render_fleet(spec, SMALL)
+        assert fleet.scenario_fp is not None
+        # Spread 0 collapses headroom_range to its midpoint (1.15 for the
+        # calibrated (1.00, 1.30)): every box sized at exactly that ratio.
+        for box in fleet.boxes:
+            ratio = box.cpu_capacity / sum(vm.cpu_capacity for vm in box.vms)
+            assert ratio == pytest.approx(1.15)
+
+    def test_out_of_band_knob_rejected(self):
+        with pytest.raises(ValueError, match="noise_scale"):
+            RenderSpec(noise_scale=11.0)
+
+
+class TestGenerationGuard:
+    """Satellite: REPRO_FORBID_FLEET_GENERATION covers scenario rendering."""
+
+    def test_render_fleet_honours_guard(self, monkeypatch):
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        with pytest.raises(RuntimeError, match="forbidden"):
+            render_fleet(NAMED_SCENARIOS["spiky"], SMALL)
+
+    def test_generate_fleet_scenario_path_honours_guard(self, monkeypatch):
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        with pytest.raises(RuntimeError, match="forbidden"):
+            generate_fleet(SMALL, scenario=NAMED_SCENARIOS["spiky"])
+
+    def test_shard_generation_guard_checked_in_parent(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        with pytest.raises(RuntimeError, match="forbidden"):
+            generate_fleet_shards(
+                SMALL, tmp_path, scenario=NAMED_SCENARIOS["spiky"]
+            )
+
+    def test_render_box_stays_callable_under_guard(self, monkeypatch):
+        """render_box is the pool-worker unit: workers render by design,
+        so the guard binds the fleet-level entry points only."""
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        box = render_box(1, NAMED_SCENARIOS["spiky"], SMALL)
+        assert box.scenario_fp == NAMED_SCENARIOS["spiky"].fingerprint()
+
+    def test_worker_shard_unit_renders_under_guard(self, monkeypatch, tmp_path):
+        from repro.store.shards import _render_box_shard
+
+        monkeypatch.setenv(FORBID_GENERATION_ENV_VAR, "1")
+        meta = _render_box_shard(
+            0, SMALL, NAMED_SCENARIOS["spiky"], str(tmp_path)
+        )
+        assert meta.scenario_fp == NAMED_SCENARIOS["spiky"].fingerprint()
+
+    def test_parallel_scenario_store_matches_serial(self, monkeypatch, tmp_path):
+        serial_root = tmp_path / "serial"
+        generate_fleet_shards(
+            SMALL, serial_root, name="s", scenario=NAMED_SCENARIOS["spiky"]
+        )
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel_root = tmp_path / "parallel"
+        generate_fleet_shards(
+            SMALL, parallel_root, name="s", scenario=NAMED_SCENARIOS["spiky"]
+        )
+        serial = json.loads((serial_root / "manifest.json").read_text())
+        parallel = json.loads((parallel_root / "manifest.json").read_text())
+        assert serial == parallel
